@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out: how the
+//! convergence tunables (round interval, exponential backoff, sibling
+//! recovery accumulation window) and the simulator's latency model affect
+//! the work done to converge through an FS outage.
+//!
+//! Wall time here is a proxy for events processed; the per-message
+//! breakdowns live in the `experiments` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::{fs_outage, paper_layout};
+use pahoehoe::cluster::{Cluster, ClusterConfig};
+use pahoehoe::convergence::ConvergenceOptions;
+use simnet::{NetworkConfig, SimDuration};
+
+fn run(cfg: ClusterConfig, seed: u64) -> u64 {
+    let mut cluster = Cluster::build_with_faults(cfg, seed, fs_outage(paper_layout(), 2));
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.durable_not_amr, 0);
+    report.metrics.total_count()
+}
+
+fn outage_config(conv: ConvergenceOptions) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.workload_puts = 10;
+    cfg.workload_value_len = 16 * 1024;
+    cfg.convergence = conv;
+    cfg
+}
+
+fn bench_backoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_backoff_base");
+    for base_secs in [15u64, 60, 240] {
+        let mut conv = ConvergenceOptions::all();
+        conv.backoff_base = SimDuration::from_secs(base_secs);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{base_secs}s")),
+            &conv,
+            |b, conv| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run(outage_config(conv.clone()), seed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_round_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_round_interval");
+    for (label, lo, hi) in [
+        ("paper_30_90", 30u64, 90u64),
+        ("fast_5_15", 5, 15),
+        ("slow_120_360", 120, 360),
+    ] {
+        let mut conv = ConvergenceOptions::all();
+        conv.round_min = SimDuration::from_secs(lo);
+        conv.round_max = SimDuration::from_secs(hi);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &conv, |b, conv| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run(outage_config(conv.clone()), seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery_wait(c: &mut Criterion) {
+    // The "waits some time to accumulate replies" window of §4.2: too
+    // short and the recoverer misses sibling need-reports (siblings then
+    // recover themselves); long enough and one retrieval serves everyone.
+    let mut g = c.benchmark_group("ablation_recovery_wait");
+    for ms in [50u64, 500, 2000] {
+        let mut conv = ConvergenceOptions::all();
+        conv.recovery_wait = SimDuration::from_millis(ms);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ms}ms")),
+            &conv,
+            |b, conv| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run(outage_config(conv.clone()), seed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_network_latency");
+    for (label, lo_ms, hi_ms) in [
+        ("paper_10_30ms", 10u64, 30u64),
+        ("lan_1_3ms", 1, 3),
+        ("wan_50_150ms", 50, 150),
+    ] {
+        let network = NetworkConfig {
+            latency_min: SimDuration::from_millis(lo_ms),
+            latency_max: SimDuration::from_millis(hi_ms),
+            ..NetworkConfig::paper_default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &network,
+            |b, network| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let mut cfg = outage_config(ConvergenceOptions::all());
+                    cfg.network = network.clone();
+                    run(cfg, seed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backoff, bench_round_interval, bench_recovery_wait, bench_latency_model
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for **Figure 5**: a full failure-free workload run to
+//! convergence under each optimization level.
+//!
+//! Wall time tracks the amount of protocol work (events processed), so
+//! the ordering mirrors the paper's message counts: Naive does the most
+//! convergence work, PutAMR (all optimizations) the least. The figure's
+//! actual message tables come from `cargo run -p experiments --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pahoehoe::cluster::{Cluster, ClusterConfig};
+use pahoehoe::convergence::ConvergenceOptions;
+
+fn workload(conv: ConvergenceOptions, seed: u64) -> Cluster {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.workload_puts = 20;
+    cfg.workload_value_len = 32 * 1024;
+    cfg.convergence = conv;
+    Cluster::build(cfg, seed)
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_failure_free");
+    let configs = [
+        ("naive", ConvergenceOptions::naive()),
+        ("fsamr_sync", ConvergenceOptions::fs_amr_synchronized()),
+        ("fsamr_unsync", ConvergenceOptions::fs_amr_unsynchronized()),
+        ("put_amr_all", ConvergenceOptions::all()),
+    ];
+    for (name, conv) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &conv, |b, conv| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cluster = workload(conv.clone(), seed);
+                let report = cluster.run_to_convergence();
+                assert_eq!(report.amr_versions, 20);
+                report.metrics.total_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for **Figures 6/7**: convergence through a 10-minute
+//! FS outage, comparing the sibling-fragment-recovery optimization
+//! against naive per-FS recovery. The figures' message tables come from
+//! `cargo run -p experiments --bin fig6_7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::{fs_outage, paper_layout};
+use pahoehoe::cluster::{Cluster, ClusterConfig};
+use pahoehoe::convergence::ConvergenceOptions;
+
+fn run(down: usize, conv: ConvergenceOptions, seed: u64) -> u64 {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.layout = paper_layout();
+    cfg.workload_puts = 10;
+    cfg.workload_value_len = 32 * 1024;
+    cfg.convergence = conv;
+    let mut cluster = Cluster::build_with_faults(cfg, seed, fs_outage(paper_layout(), down));
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.durable_not_amr, 0);
+    report.metrics.total_count()
+}
+
+fn bench_fs_failures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_7_fs_failures");
+    for down in [1usize, 4] {
+        for (name, conv) in [
+            ("sibling", ConvergenceOptions::all()),
+            ("no_sibling", {
+                let mut o = ConvergenceOptions::all();
+                o.sibling_recovery = false;
+                o
+            }),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("{down}down_{name}")),
+                &(down, conv),
+                |b, (down, conv)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        run(*down, conv.clone(), seed)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fs_failures
+}
+criterion_main!(benches);

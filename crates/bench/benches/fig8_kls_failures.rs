@@ -1,0 +1,45 @@
+//! Criterion bench for **Figure 8**: convergence through KLS outages,
+//! contrasting the connected (`2C`) and partitioned (`2P`) two-failure
+//! cases. The figure's byte tables come from
+//! `cargo run -p experiments --bin fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::{kls_outage, paper_layout};
+use pahoehoe::cluster::{Cluster, ClusterConfig};
+use pahoehoe::convergence::ConvergenceOptions;
+
+fn run(pattern: &str, seed: u64) -> u64 {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.workload_puts = 10;
+    cfg.workload_value_len = 32 * 1024;
+    cfg.convergence = ConvergenceOptions::all();
+    let mut cluster = Cluster::build_with_faults(cfg, seed, kls_outage(paper_layout(), pattern));
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.durable_not_amr, 0);
+    report.metrics.total_bytes()
+}
+
+fn bench_kls_failures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_kls_failures");
+    for pattern in ["0", "1", "2C", "2P", "3"] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pattern),
+            &pattern,
+            |b, pattern| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run(pattern, seed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kls_failures
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for **Figure 9**: a workload run to convergence under
+//! a lossy network at increasing drop rates. Wall time grows with the
+//! drop rate because convergence must redo dropped work — the same effect
+//! the paper measures in messages. The figure's table comes from
+//! `cargo run -p experiments --bin fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pahoehoe::cluster::{Cluster, ClusterConfig};
+use simnet::NetworkConfig;
+
+fn run(drop_rate: f64, seed: u64) -> u64 {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.workload_puts = 10;
+    cfg.workload_value_len = 16 * 1024;
+    cfg.network = NetworkConfig::with_drop_rate(drop_rate);
+    let mut cluster = Cluster::build(cfg, seed);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.puts_succeeded, 10);
+    report.puts_attempted
+}
+
+fn bench_lossy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_lossy");
+    for rate in [0.0, 0.05, 0.10] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("drop{:.0}pct", rate * 100.0)),
+            &rate,
+            |b, &rate| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run(rate, seed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lossy
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmark crate for the Pahoehoe reproduction.
+//!
+//! All content lives in Criterion benches under `benches/`:
+//!
+//! * `erasure_codec` — encode/decode/recover throughput of the
+//!   from-scratch Reed-Solomon codec;
+//! * `fig5_failure_free`, `fig6_7_fs_failures`, `fig8_kls_failures`,
+//!   `fig9_lossy` — end-to-end convergence runs matching each paper
+//!   figure's scenario (the message/byte tables themselves come from the
+//!   `experiments` binaries);
+//! * `ablations` — sensitivity of convergence cost to the tunables
+//!   DESIGN.md calls out (backoff base, round interval, sibling-recovery
+//!   accumulation window, latency model).
+//!
+//! Run with `cargo bench --workspace` or a single target, e.g.
+//! `cargo bench -p bench --bench erasure_codec`.

@@ -1,0 +1,455 @@
+//! The systematic Reed-Solomon codec.
+//!
+//! The generator matrix is derived from an `n × k` Vandermonde matrix `V`
+//! (rows are evaluation points `0..n`): `G = V · (V_top)⁻¹`, where `V_top`
+//! is the top `k × k` block. Multiplying by a fixed invertible matrix keeps
+//! every `k`-row subset of `G` invertible while turning the top block into
+//! the identity — hence *systematic*: fragments `0..k` are the value
+//! striped verbatim.
+
+use bytes::Bytes;
+
+use crate::error::CodecError;
+use crate::fragment::{Fragment, FragmentIndex};
+use crate::gf;
+use crate::matrix::Matrix;
+
+/// A systematic Reed-Solomon `(k, n)` erasure codec over GF(2⁸).
+///
+/// `k` is the number of data fragments, `n` the total number of fragments;
+/// any `k` distinct fragments recover the value. The generator matrix is
+/// computed once at construction; encode/decode are then pure table-driven
+/// byte loops.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), erasure::CodecError> {
+/// let codec = erasure::Codec::new(4, 12)?;
+/// let frags = codec.encode(b"hello, archive");
+/// let back = codec.decode(&frags[4..8], 14)?; // four parity fragments
+/// assert_eq!(back, b"hello, archive");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Codec {
+    k: usize,
+    n: usize,
+    generator: Matrix,
+}
+
+impl Codec {
+    /// Creates a `(k, n)` codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParameters`] unless `0 < k <= n <= 256`.
+    pub fn new(k: usize, n: usize) -> Result<Self, CodecError> {
+        if k == 0 || k > n || n > 256 {
+            return Err(CodecError::InvalidParameters { k, n });
+        }
+        let vandermonde = Matrix::vandermonde(n, k);
+        let top = vandermonde.submatrix(k, k);
+        let top_inv = top
+            .inverse()
+            .expect("top block of a Vandermonde matrix is invertible");
+        let generator = vandermonde.mul(&top_inv);
+        debug_assert!(generator.submatrix(k, k).is_identity());
+        Ok(Codec { k, n, generator })
+    }
+
+    /// Number of data fragments (`k`).
+    pub fn data_fragments(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of fragments (`n`).
+    pub fn total_fragments(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parity fragments (`n - k`).
+    pub fn parity_fragments(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Payload length of each fragment for a value of `value_len` bytes:
+    /// `ceil(value_len / k)`.
+    pub fn fragment_len(&self, value_len: usize) -> usize {
+        value_len.div_ceil(self.k)
+    }
+
+    /// Encodes `value` into all `n` fragments (data fragments first).
+    ///
+    /// The value is zero-padded up to `k * fragment_len`; the original
+    /// length must be carried out-of-band (Pahoehoe keeps it in metadata)
+    /// and passed back to [`decode`](Self::decode).
+    pub fn encode(&self, value: &[u8]) -> Vec<Fragment> {
+        let flen = self.fragment_len(value.len());
+        let mut frags = Vec::with_capacity(self.n);
+
+        // Data fragments: the value striped in order, last one padded.
+        let mut data_shards: Vec<Bytes> = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let start = (i * flen).min(value.len());
+            let end = ((i + 1) * flen).min(value.len());
+            let mut shard = Vec::with_capacity(flen);
+            shard.extend_from_slice(&value[start..end]);
+            shard.resize(flen, 0);
+            data_shards.push(Bytes::from(shard));
+        }
+        for (i, shard) in data_shards.iter().enumerate() {
+            frags.push(Fragment::new(i as FragmentIndex, shard.clone()));
+        }
+
+        // Parity fragments: G[row] · data.
+        for row in self.k..self.n {
+            let mut parity = vec![0u8; flen];
+            for (i, shard) in data_shards.iter().enumerate() {
+                gf::mul_acc(&mut parity, shard, self.generator.get(row, i));
+            }
+            frags.push(Fragment::new(row as FragmentIndex, parity));
+        }
+        frags
+    }
+
+    /// Decodes the original `value_len`-byte value from any `k` distinct
+    /// fragments (duplicates are ignored).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::NotEnoughFragments`] — fewer than `k` distinct
+    ///   indices supplied.
+    /// * [`CodecError::InvalidFragmentIndex`] — an index is `>= n`.
+    /// * [`CodecError::FragmentLengthMismatch`] — a payload length differs
+    ///   from `fragment_len(value_len)`.
+    pub fn decode(&self, fragments: &[Fragment], value_len: usize) -> Result<Vec<u8>, CodecError> {
+        let data_shards = self.data_shards(fragments, value_len)?;
+        let flen = self.fragment_len(value_len);
+        let mut value = Vec::with_capacity(self.k * flen);
+        for shard in &data_shards {
+            value.extend_from_slice(shard);
+        }
+        value.truncate(value_len);
+        Ok(value)
+    }
+
+    /// Regenerates the fragments with indices `missing` from any `k`
+    /// distinct fragments.
+    ///
+    /// This is the primitive behind the paper's *sibling fragment recovery*
+    /// optimization: one retrieval of `k` fragments amortizes over
+    /// regenerating **all** missing sibling fragments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decode`](Self::decode), plus
+    /// [`CodecError::InvalidFragmentIndex`] if a requested index is `>= n`.
+    pub fn recover(
+        &self,
+        fragments: &[Fragment],
+        missing: &[FragmentIndex],
+        value_len: usize,
+    ) -> Result<Vec<Fragment>, CodecError> {
+        for &m in missing {
+            if (m as usize) >= self.n {
+                return Err(CodecError::InvalidFragmentIndex {
+                    index: m,
+                    n: self.n,
+                });
+            }
+        }
+        let data_shards = self.data_shards(fragments, value_len)?;
+        let flen = self.fragment_len(value_len);
+        let mut out = Vec::with_capacity(missing.len());
+        for &m in missing {
+            let row = m as usize;
+            let mut shard = vec![0u8; flen];
+            for (i, data) in data_shards.iter().enumerate() {
+                gf::mul_acc(&mut shard, data, self.generator.get(row, i));
+            }
+            out.push(Fragment::new(m, shard));
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the `k` data shards (padded) from any `k` distinct
+    /// fragments.
+    fn data_shards(
+        &self,
+        fragments: &[Fragment],
+        value_len: usize,
+    ) -> Result<Vec<Vec<u8>>, CodecError> {
+        let flen = self.fragment_len(value_len);
+
+        // Deduplicate by index, validating as we go.
+        let mut chosen: Vec<Option<&Fragment>> = vec![None; self.n];
+        let mut distinct = 0usize;
+        for f in fragments {
+            let idx = f.index() as usize;
+            if idx >= self.n {
+                return Err(CodecError::InvalidFragmentIndex {
+                    index: f.index(),
+                    n: self.n,
+                });
+            }
+            if f.len() != flen {
+                return Err(CodecError::FragmentLengthMismatch {
+                    expected: flen,
+                    actual: f.len(),
+                });
+            }
+            if chosen[idx].is_none() {
+                chosen[idx] = Some(f);
+                distinct += 1;
+                if distinct == self.k {
+                    break;
+                }
+            }
+        }
+        if distinct < self.k {
+            return Err(CodecError::NotEnoughFragments {
+                have: distinct,
+                need: self.k,
+            });
+        }
+
+        let picked: Vec<&Fragment> = chosen.into_iter().flatten().take(self.k).collect();
+
+        // Fast path: all k data fragments present — no algebra needed.
+        if picked
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.index() as usize == i)
+        {
+            return Ok(picked.iter().map(|f| f.data().to_vec()).collect());
+        }
+
+        let rows: Vec<usize> = picked.iter().map(|f| f.index() as usize).collect();
+        let sub = self.generator.select_rows(&rows);
+        let inv = sub
+            .inverse()
+            .expect("any k rows of the systematic generator are independent");
+
+        let mut shards = Vec::with_capacity(self.k);
+        for r in 0..self.k {
+            let mut shard = vec![0u8; flen];
+            for (c, frag) in picked.iter().enumerate() {
+                gf::mul_acc(&mut shard, frag.data(), inv.get(r, c));
+            }
+            shards.push(shard);
+        }
+        Ok(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(Codec::new(4, 12).is_ok());
+        assert!(Codec::new(1, 1).is_ok());
+        assert!(Codec::new(256, 256).is_ok());
+        assert_eq!(
+            Codec::new(0, 4).unwrap_err(),
+            CodecError::InvalidParameters { k: 0, n: 4 }
+        );
+        assert!(Codec::new(5, 4).is_err());
+        assert!(Codec::new(4, 257).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Codec::new(4, 12).unwrap();
+        assert_eq!(c.data_fragments(), 4);
+        assert_eq!(c.total_fragments(), 12);
+        assert_eq!(c.parity_fragments(), 8);
+        assert_eq!(c.fragment_len(100), 25);
+        assert_eq!(c.fragment_len(101), 26);
+        assert_eq!(c.fragment_len(0), 0);
+    }
+
+    #[test]
+    fn systematic_property() {
+        // The first k fragments are the value striped verbatim.
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(100);
+        let frags = c.encode(&v);
+        for i in 0..4 {
+            assert_eq!(&frags[i].data()[..], &v[i * 25..(i + 1) * 25]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_data_fragments() {
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(1000);
+        let frags = c.encode(&v);
+        assert_eq!(c.decode(&frags[..4], v.len()).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip_with_any_k_subset() {
+        let c = Codec::new(3, 6).unwrap();
+        let v = value(77);
+        let frags = c.encode(&v);
+        // Exhaustively test every 3-subset of 6 fragments.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for d in (b + 1)..6 {
+                    let subset = vec![frags[a].clone(), frags[b].clone(), frags[d].clone()];
+                    assert_eq!(c.decode(&subset, v.len()).unwrap(), v, "subset {a},{b},{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_value_not_divisible_by_k() {
+        let c = Codec::new(4, 8).unwrap();
+        for len in [1usize, 2, 3, 5, 97, 102_401] {
+            let v = value(len);
+            let frags = c.encode(&v);
+            assert_eq!(c.decode(&frags[4..], len).unwrap(), v, "len={len}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_value() {
+        let c = Codec::new(4, 12).unwrap();
+        let frags = c.encode(b"");
+        assert_eq!(frags.len(), 12);
+        assert!(frags.iter().all(Fragment::is_empty));
+        assert_eq!(c.decode(&frags[5..9], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn k_equals_one_is_replication() {
+        let c = Codec::new(1, 3).unwrap();
+        let v = value(10);
+        let frags = c.encode(&v);
+        for f in &frags {
+            assert_eq!(&f.data()[..], &v[..], "every fragment is a replica");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_has_no_parity() {
+        let c = Codec::new(4, 4).unwrap();
+        let v = value(64);
+        let frags = c.encode(&v);
+        assert_eq!(frags.len(), 4);
+        assert_eq!(c.decode(&frags, v.len()).unwrap(), v);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let c = Codec::new(3, 6).unwrap();
+        let v = value(30);
+        let frags = c.encode(&v);
+        let with_dups = vec![
+            frags[5].clone(),
+            frags[5].clone(),
+            frags[1].clone(),
+            frags[1].clone(),
+            frags[3].clone(),
+        ];
+        assert_eq!(c.decode(&with_dups, v.len()).unwrap(), v);
+    }
+
+    #[test]
+    fn not_enough_fragments_is_an_error() {
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(40);
+        let frags = c.encode(&v);
+        let err = c.decode(&frags[..3], v.len()).unwrap_err();
+        assert_eq!(err, CodecError::NotEnoughFragments { have: 3, need: 4 });
+        // Duplicates do not count toward k.
+        let dup = vec![frags[0].clone(); 4];
+        assert_eq!(
+            c.decode(&dup, v.len()).unwrap_err(),
+            CodecError::NotEnoughFragments { have: 1, need: 4 }
+        );
+    }
+
+    #[test]
+    fn invalid_index_is_an_error() {
+        let c = Codec::new(2, 4).unwrap();
+        let bogus = Fragment::new(9, vec![0u8; 5]);
+        let err = c.decode(&[bogus], 10).unwrap_err();
+        assert_eq!(err, CodecError::InvalidFragmentIndex { index: 9, n: 4 });
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let c = Codec::new(2, 4).unwrap();
+        let v = value(10);
+        let mut frags = c.encode(&v);
+        frags[1] = Fragment::new(1, vec![0u8; 3]);
+        let err = c.decode(&frags, v.len()).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::FragmentLengthMismatch {
+                expected: 5,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn recover_regenerates_exact_fragments() {
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(100 * 1024);
+        let frags = c.encode(&v);
+        // Pretend fragments 2, 7, 11 were lost; recover from 4 others.
+        let survivors = vec![
+            frags[0].clone(),
+            frags[5].clone(),
+            frags[8].clone(),
+            frags[3].clone(),
+        ];
+        let recovered = c.recover(&survivors, &[2, 7, 11], v.len()).unwrap();
+        assert_eq!(recovered.len(), 3);
+        for r in &recovered {
+            assert_eq!(r, &frags[r.index() as usize]);
+        }
+    }
+
+    #[test]
+    fn recover_all_missing_from_k() {
+        // Recover every fragment (even present ones) — must equal encode.
+        let c = Codec::new(3, 6).unwrap();
+        let v = value(42);
+        let frags = c.encode(&v);
+        let all: Vec<FragmentIndex> = (0..6).collect();
+        let re = c.recover(&frags[3..6], &all, v.len()).unwrap();
+        assert_eq!(re, frags);
+    }
+
+    #[test]
+    fn recover_invalid_target_is_an_error() {
+        let c = Codec::new(2, 4).unwrap();
+        let v = value(8);
+        let frags = c.encode(&v);
+        let err = c.recover(&frags[..2], &[4], v.len()).unwrap_err();
+        assert_eq!(err, CodecError::InvalidFragmentIndex { index: 4, n: 4 });
+    }
+
+    #[test]
+    fn default_policy_shape_matches_paper() {
+        // (k=4, n=12) with 100 KiB values: 25 KiB fragments, 3x overhead.
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(100 * 1024);
+        let frags = c.encode(&v);
+        assert_eq!(frags.len(), 12);
+        let total: usize = frags.iter().map(Fragment::len).sum();
+        assert_eq!(total, 3 * v.len(), "same overhead as triple replication");
+    }
+}

@@ -1,0 +1,90 @@
+//! Codec error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the [`Codec`](crate::Codec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The `(k, n)` parameters are unusable (`k == 0`, `k > n`, or
+    /// `n > 256`, the number of distinct GF(2⁸) evaluation points).
+    InvalidParameters {
+        /// Requested number of data fragments.
+        k: usize,
+        /// Requested total number of fragments.
+        n: usize,
+    },
+    /// Fewer than `k` distinct fragments were supplied to a decode.
+    NotEnoughFragments {
+        /// Distinct fragments available.
+        have: usize,
+        /// Fragments required (`k`).
+        need: usize,
+    },
+    /// A fragment index is out of the `0..n` range.
+    InvalidFragmentIndex {
+        /// The offending index.
+        index: u8,
+        /// Total fragments in the code word (`n`).
+        n: usize,
+    },
+    /// Supplied fragments have inconsistent payload lengths, or a length
+    /// that cannot correspond to the stated value length.
+    FragmentLengthMismatch {
+        /// Expected payload length.
+        expected: usize,
+        /// Actual payload length found.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidParameters { k, n } => {
+                write!(f, "invalid code parameters k={k}, n={n}")
+            }
+            CodecError::NotEnoughFragments { have, need } => {
+                write!(f, "need {need} distinct fragments, have {have}")
+            }
+            CodecError::InvalidFragmentIndex { index, n } => {
+                write!(f, "fragment index {index} outside 0..{n}")
+            }
+            CodecError::FragmentLengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "fragment length {actual} does not match expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CodecError::InvalidParameters { k: 0, n: 4 };
+        assert_eq!(e.to_string(), "invalid code parameters k=0, n=4");
+        let e = CodecError::NotEnoughFragments { have: 2, need: 4 };
+        assert_eq!(e.to_string(), "need 4 distinct fragments, have 2");
+        let e = CodecError::InvalidFragmentIndex { index: 13, n: 12 };
+        assert_eq!(e.to_string(), "fragment index 13 outside 0..12");
+        let e = CodecError::FragmentLengthMismatch {
+            expected: 8,
+            actual: 9,
+        };
+        assert!(e.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+}

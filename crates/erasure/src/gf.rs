@@ -1,0 +1,266 @@
+//! Arithmetic in the finite field GF(2⁸).
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial
+//! multiplication modulo the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (`0x11d`), the polynomial conventionally used by
+//! storage Reed-Solomon implementations. Multiplication and division are
+//! table-driven: `EXP`/`LOG` tables are generated at compile time from the
+//! generator element `2`.
+
+/// The primitive polynomial, with the x⁸ term included (`0x11d`).
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Order of the multiplicative group (number of non-zero elements).
+pub const GROUP_ORDER: usize = 255;
+
+/// `EXP[i] = 2^i` for `i` in `0..510`; doubled so that
+/// `EXP[LOG[a] + LOG[b]]` never needs a modular reduction.
+pub static EXP: [u8; 510] = build_exp();
+
+/// `LOG[a]` is the discrete logarithm of `a` base `2`; `LOG[0]` is unused
+/// (set to 0, never read because multiplication short-circuits on zero).
+pub static LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 510] {
+    let mut table = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Adds two field elements. In GF(2⁸) addition and subtraction are both XOR.
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtracts `b` from `a`; identical to [`add`] in characteristic 2.
+#[inline]
+pub const fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`; division by zero is undefined in a field.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(2^8)");
+    if a == 0 {
+        0
+    } else {
+        let diff = LOG[a as usize] as usize + GROUP_ORDER - LOG[b as usize] as usize;
+        EXP[diff % GROUP_ORDER]
+    }
+}
+
+/// Computes the multiplicative inverse of `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`; zero has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(2^8)");
+    EXP[GROUP_ORDER - LOG[a as usize] as usize]
+}
+
+/// Raises `a` to the power `e` (with the convention `pow(0, 0) == 1`).
+pub fn pow(a: u8, e: usize) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    // a = 2^LOG[a], so a^e = 2^(LOG[a]*e mod 255).
+    let log = LOG[a as usize] as usize * (e % GROUP_ORDER);
+    EXP[log % GROUP_ORDER]
+}
+
+/// Multiplies every byte of `src` by `scalar` and XORs the products into
+/// `dst`: `dst[i] ^= scalar * src[i]`.
+///
+/// This is the inner loop of Reed-Solomon encoding and decoding; it is
+/// written without bounds checks in the hot path by iterating over zipped
+/// slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], scalar: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc slice length mismatch");
+    if scalar == 0 {
+        return;
+    }
+    if scalar == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let log_s = LOG[scalar as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[log_s + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse_bijections() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+        for i in 0..255usize {
+            assert_eq!(LOG[EXP[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn exp_table_wraps_at_group_order() {
+        for i in 0..255usize {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 is primitive for 0x11d: powers 2^0..2^254 hit every non-zero
+        // element exactly once.
+        let mut seen = [false; 256];
+        for i in 0..255usize {
+            assert!(!seen[EXP[i] as usize], "2^{i} repeated");
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let carry = a & 0x80 != 0;
+                a <<= 1;
+                if carry {
+                    a ^= (PRIMITIVE_POLY & 0xff) as u8;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "mul({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(div(mul(a, b), b), a, "({a}*{b})/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inv_is_multiplicative_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = div(7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_of_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(1, 200), 1);
+        for a in 1..=255u8 {
+            assert_eq!(pow(a, 1), a);
+            assert_eq!(pow(a, 2), mul(a, a));
+            assert_eq!(pow(a, 255), 1, "Fermat: a^(q-1) = 1");
+            assert_eq!(pow(a, 256), a, "a^q = a");
+            assert_eq!(pow(a, 254), inv(a), "a^(q-2) = a^-1");
+        }
+    }
+
+    #[test]
+    fn mul_acc_accumulates() {
+        let src = [1u8, 2, 3, 0, 255];
+        let mut dst = [9u8, 9, 9, 9, 9];
+        mul_acc(&mut dst, &src, 7);
+        for i in 0..src.len() {
+            assert_eq!(dst[i], 9 ^ mul(src[i], 7));
+        }
+    }
+
+    #[test]
+    fn mul_acc_scalar_zero_is_noop() {
+        let src = [42u8; 8];
+        let mut dst = [3u8; 8];
+        mul_acc(&mut dst, &src, 0);
+        assert_eq!(dst, [3u8; 8]);
+    }
+
+    #[test]
+    fn mul_acc_scalar_one_is_xor() {
+        let src = [0xAAu8; 4];
+        let mut dst = [0xFFu8; 4];
+        mul_acc(&mut dst, &src, 1);
+        assert_eq!(dst, [0x55u8; 4]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for GF(2⁸) matrix algebra.
+
+use erasure::gf;
+use erasure::matrix::Matrix;
+use proptest::prelude::*;
+
+/// A random matrix of the given shape.
+fn random_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(any::<u8>(), rows * cols).prop_map(move |data| {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, data[r * cols + c]);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    /// (A · B) · C == A · (B · C) for random conforming matrices.
+    #[test]
+    fn multiplication_is_associative(
+        a in random_matrix(3, 4),
+        b in random_matrix(4, 2),
+        c in random_matrix(2, 5),
+    ) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    /// Multiplication distributes over entry-wise XOR (field addition).
+    #[test]
+    fn multiplication_distributes_over_addition(
+        a in random_matrix(3, 3),
+        b in random_matrix(3, 3),
+        c in random_matrix(3, 3),
+    ) {
+        let xor = |x: &Matrix, y: &Matrix| {
+            let mut out = Matrix::zero(x.rows(), x.cols());
+            for r in 0..x.rows() {
+                for col in 0..x.cols() {
+                    out.set(r, col, gf::add(x.get(r, col), y.get(r, col)));
+                }
+            }
+            out
+        };
+        // A(B + C) == AB + AC.
+        prop_assert_eq!(
+            a.mul(&xor(&b, &c)),
+            xor(&a.mul(&b), &a.mul(&c))
+        );
+    }
+
+    /// If a random square matrix inverts, the inverse is two-sided and
+    /// inverting twice returns the original.
+    #[test]
+    fn inverse_is_two_sided_and_involutive(m in random_matrix(4, 4)) {
+        if let Some(inv) = m.inverse() {
+            prop_assert!(m.mul(&inv).is_identity());
+            prop_assert!(inv.mul(&m).is_identity());
+            let back = inv.inverse().expect("inverse of invertible inverts");
+            prop_assert_eq!(back, m);
+        }
+    }
+
+    /// Any k rows of the systematic generator used by the codec are
+    /// invertible (the property decode relies on): sample a random row
+    /// subset of a Vandermonde-derived generator and invert it.
+    #[test]
+    fn generator_row_subsets_invert(
+        rows in proptest::sample::subsequence(
+            (0usize..12).collect::<Vec<_>>(),
+            4,
+        ),
+    ) {
+        let k = 4;
+        let v = Matrix::vandermonde(12, k);
+        let top_inv = v.submatrix(k, k).inverse().expect("vandermonde");
+        let gen = v.mul(&top_inv);
+        let sub = gen.select_rows(&rows);
+        prop_assert!(
+            sub.inverse().is_some(),
+            "rows {rows:?} must be independent"
+        );
+    }
+
+    /// Identity is neutral on both sides for any square matrix.
+    #[test]
+    fn identity_is_neutral(m in random_matrix(5, 5)) {
+        let id = Matrix::identity(5);
+        prop_assert_eq!(m.mul(&id), m.clone());
+        prop_assert_eq!(id.mul(&m), m);
+    }
+}

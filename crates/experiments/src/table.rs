@@ -1,0 +1,252 @@
+//! Plain-text table rendering for experiment results.
+
+use crate::runner::ConfigResult;
+
+/// The stacked-legend order of the paper's figures (bottom to top);
+/// unknown kinds are appended alphabetically.
+pub const KIND_ORDER: &[&str] = &[
+    "DecideLocsReq",
+    "DecideLocsRep",
+    "StoreMetadataReq",
+    "StoreMetadataRep",
+    "StoreFragmentReq",
+    "StoreFragmentRep",
+    "AMRIndication",
+    "KLSConvergeReq",
+    "KLSConvergeRep",
+    "FSConvergeReq",
+    "FSConvergeRep",
+    "RetrieveFragReq",
+    "RetrieveFragRep",
+    "SiblingStoreReq",
+    "FSDecideLocsReq",
+    "LocsIndication",
+    "RetrieveTsReq",
+    "RetrieveTsRep",
+];
+
+/// What a table's cells show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Mean message count.
+    Count,
+    /// Mean message bytes, reported in MiB (the paper's 2²⁰-byte unit).
+    Bytes,
+}
+
+fn kind_rank(kind: &str) -> (usize, &str) {
+    match KIND_ORDER.iter().position(|&k| k == kind) {
+        Some(i) => (i, kind),
+        None => (KIND_ORDER.len(), kind),
+    }
+}
+
+/// Renders a per-kind breakdown table: one row per message kind, one
+/// column per configuration, plus a TOTAL row with 95 % confidence
+/// half-widths.
+pub fn render(title: &str, results: &[ConfigResult], unit: Unit) -> String {
+    let mut kinds: Vec<&'static str> = results
+        .iter()
+        .flat_map(|r| r.kind_counts.keys().copied())
+        .collect();
+    kinds.sort_by_key(|k| kind_rank(k));
+    kinds.dedup();
+
+    let cell = |r: &ConfigResult, kind: &str| -> f64 {
+        let map = match unit {
+            Unit::Count => &r.kind_counts,
+            Unit::Bytes => &r.kind_bytes,
+        };
+        map.get(kind).map_or(0.0, |s| s.mean)
+    };
+    let scale = match unit {
+        Unit::Count => 1.0,
+        Unit::Bytes => (1 << 20) as f64,
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let label_w = kinds
+        .iter()
+        .map(|k| k.len())
+        .chain(["TOTAL".len(), "kind".len()])
+        .max()
+        .unwrap_or(8);
+    let col_w = results
+        .iter()
+        .map(|r| r.label.len().max(10))
+        .collect::<Vec<_>>();
+
+    out.push_str(&format!("{:label_w$}", "kind"));
+    for (r, w) in results.iter().zip(&col_w) {
+        out.push_str(&format!("  {:>w$}", r.label, w = w));
+    }
+    out.push('\n');
+
+    for kind in &kinds {
+        let values: Vec<f64> = results.iter().map(|r| cell(r, kind)).collect();
+        if values.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        out.push_str(&format!("{kind:label_w$}"));
+        for (v, w) in values.iter().zip(&col_w) {
+            out.push_str(&format!("  {:>w$.1}", v / scale, w = w));
+        }
+        out.push('\n');
+    }
+
+    out.push_str(&format!("{:label_w$}", "TOTAL"));
+    for (r, w) in results.iter().zip(&col_w) {
+        let s = match unit {
+            Unit::Count => r.total_count,
+            Unit::Bytes => r.total_bytes,
+        };
+        out.push_str(&format!("  {:>w$.1}", s.mean / scale, w = w));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:label_w$}", "±95% CI"));
+    for (r, w) in results.iter().zip(&col_w) {
+        let s = match unit {
+            Unit::Count => r.total_count,
+            Unit::Bytes => r.total_bytes,
+        };
+        out.push_str(&format!("  {:>w$.1}", s.ci95_half_width / scale, w = w));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the same per-kind breakdown as CSV (kind per row, one column
+/// per configuration, raw units — counts or bytes), for plotting.
+pub fn render_csv(results: &[ConfigResult], unit: Unit) -> String {
+    let mut kinds: Vec<&'static str> = results
+        .iter()
+        .flat_map(|r| r.kind_counts.keys().copied())
+        .collect();
+    kinds.sort_by_key(|k| kind_rank(k));
+    kinds.dedup();
+
+    let mut out = String::from("kind");
+    for r in results {
+        out.push(',');
+        out.push_str(&r.label);
+    }
+    out.push('\n');
+    for kind in &kinds {
+        out.push_str(kind);
+        for r in results {
+            let map = match unit {
+                Unit::Count => &r.kind_counts,
+                Unit::Bytes => &r.kind_bytes,
+            };
+            out.push_str(&format!(",{}", map.get(kind).map_or(0.0, |s| s.mean)));
+        }
+        out.push('\n');
+    }
+    out.push_str("TOTAL");
+    for r in results {
+        let s = match unit {
+            Unit::Count => r.total_count,
+            Unit::Bytes => r.total_bytes,
+        };
+        out.push_str(&format!(",{}", s.mean));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders run-level statistics (convergence time, puts attempted) as a
+/// compact companion table.
+pub fn render_run_stats(results: &[ConfigResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:12}  {:>12}  {:>14}  {:>10}\n",
+        "config", "sim time (s)", "puts attempted", "converged"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:12}  {:>12.1}  {:>14.1}  {:>10}\n",
+            r.label,
+            r.sim_secs.mean,
+            r.puts_attempted.mean,
+            if r.all_converged { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idealized;
+    use pahoehoe::cluster::ClusterLayout;
+    use pahoehoe::Policy;
+
+    fn sample() -> Vec<ConfigResult> {
+        vec![idealized::as_config_result(
+            ClusterLayout {
+                dcs: 2,
+                kls_per_dc: 2,
+                fs_per_dc: 3,
+            },
+            Policy::paper_default(),
+            100 * 1024,
+            100,
+        )]
+    }
+
+    #[test]
+    fn render_contains_kinds_and_totals() {
+        let t = render("Figure 5", &sample(), Unit::Count);
+        assert!(t.contains("Figure 5"));
+        assert!(t.contains("StoreFragmentReq"));
+        assert!(t.contains("TOTAL"));
+        assert!(t.contains("3600"), "{t}");
+        // Zero-valued kinds are elided.
+        assert!(!t.contains("SiblingStoreReq"));
+    }
+
+    #[test]
+    fn byte_table_uses_mib() {
+        let t = render("bytes", &sample(), Unit::Bytes);
+        // 100 puts x ~300 KiB fragments ≈ 29.3 MiB total.
+        let total_line = t
+            .lines()
+            .find(|l| l.starts_with("TOTAL"))
+            .expect("total row");
+        let v: f64 = total_line
+            .split_whitespace()
+            .nth(1)
+            .expect("value")
+            .parse()
+            .expect("numeric");
+        assert!((25.0..35.0).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn csv_has_header_and_total() {
+        let t = render_csv(&sample(), Unit::Count);
+        let mut lines = t.lines();
+        assert_eq!(lines.next(), Some("kind,Idealized"));
+        let total = t.lines().last().expect("total row");
+        assert!(total.starts_with("TOTAL,"), "{total}");
+        assert!(total.contains("3600"), "{total}");
+        // Every data row has exactly one comma (one config column).
+        for line in t.lines().skip(1) {
+            assert_eq!(line.matches(',').count(), 1, "{line}");
+        }
+    }
+
+    #[test]
+    fn run_stats_render() {
+        let t = render_run_stats(&sample());
+        assert!(t.contains("Idealized"));
+        assert!(t.contains("yes"));
+    }
+
+    #[test]
+    fn kind_order_is_stable() {
+        assert!(kind_rank("DecideLocsReq").0 < kind_rank("AMRIndication").0);
+        assert_eq!(kind_rank("Zebra").0, KIND_ORDER.len());
+    }
+}

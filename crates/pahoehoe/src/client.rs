@@ -1,0 +1,373 @@
+//! The workload client.
+//!
+//! Drives a scripted sequence of puts and gets through one proxy,
+//! retrying failed puts until they succeed — the behaviour behind the
+//! paper's lossy-network experiment (§5.4), which counts how many put
+//! operations must be *attempted* for 100 to *succeed*, and classifies the
+//! object versions left behind by failed attempts (excess-AMR versus
+//! non-durable).
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use bytes::Bytes;
+use simnet::{Actor, Context, NodeId, SimDuration};
+
+use crate::messages::{Message, OpId};
+use crate::policy::Policy;
+use crate::types::{Key, ObjectVersion};
+
+const TAG_NEXT_OP: u64 = 1;
+const TAG_OP_TIMEOUT: u64 = 1 << 56;
+const TAG_MASK: u64 = 0xff << 56;
+
+/// One scripted client operation.
+#[derive(Debug, Clone)]
+pub enum ClientOp {
+    /// Store `value` under `key`, retrying until the proxy reports
+    /// success.
+    Put {
+        /// Object key.
+        key: Key,
+        /// Value to store.
+        value: Bytes,
+        /// Durability policy.
+        policy: Policy,
+    },
+    /// Retrieve the object stored under `key` (no retry; the outcome is
+    /// recorded as-is).
+    Get {
+        /// Object key.
+        key: Key,
+    },
+}
+
+/// The outcome of a completed get.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetOutcome {
+    /// The key requested.
+    pub key: Key,
+    /// Version and value returned, or `None` if the get aborted/failed.
+    pub result: Option<(ObjectVersion, Bytes)>,
+}
+
+/// A scripted workload client bound to one proxy.
+pub struct Client {
+    proxy: NodeId,
+    /// Pause between consecutive operations.
+    gap: SimDuration,
+    /// Pause before retrying a failed put.
+    retry_delay: SimDuration,
+    /// Give up on an unanswered operation after this long. The request or
+    /// the answer may have been dropped by a lossy network; the paper's
+    /// client "effectively handles [the proxy's unknown answer] like a
+    /// timeout" and retries (§3.5). Must exceed the proxy's own
+    /// operation timeout plus a round trip.
+    op_timeout: SimDuration,
+    script: VecDeque<ClientOp>,
+    in_flight: Option<(OpId, ClientOp)>,
+    in_flight_timer: Option<simnet::TimerId>,
+    next_op: OpId,
+    wakeup_scheduled: bool,
+    /// Attempts that timed out with no proxy answer at all.
+    puts_timed_out: u64,
+    // ---- outcome accounting ----
+    puts_attempted: u64,
+    puts_succeeded: u64,
+    /// Versions whose put the client saw succeed.
+    success_versions: BTreeSet<ObjectVersion>,
+    /// Versions created by attempts the client saw fail.
+    failed_versions: BTreeSet<ObjectVersion>,
+    /// Version each key's successful put produced.
+    version_of: BTreeMap<Key, ObjectVersion>,
+    gets_done: Vec<GetOutcome>,
+}
+
+impl Client {
+    /// Creates a client that will run `script` against `proxy`.
+    pub fn new(proxy: NodeId, script: Vec<ClientOp>) -> Self {
+        Client {
+            proxy,
+            gap: SimDuration::ZERO,
+            retry_delay: SimDuration::from_millis(200),
+            op_timeout: SimDuration::from_secs(5),
+            script: script.into(),
+            in_flight: None,
+            in_flight_timer: None,
+            next_op: 1,
+            wakeup_scheduled: false,
+            puts_timed_out: 0,
+            puts_attempted: 0,
+            puts_succeeded: 0,
+            success_versions: BTreeSet::new(),
+            failed_versions: BTreeSet::new(),
+            version_of: BTreeMap::new(),
+            gets_done: Vec::new(),
+        }
+    }
+
+    /// Builds the paper's standard workload: `count` puts of `value_len`
+    /// bytes each, with deterministic per-key contents.
+    pub fn standard_workload(
+        proxy: NodeId,
+        count: usize,
+        value_len: usize,
+        policy: Policy,
+    ) -> Self {
+        let script = (0..count)
+            .map(|i| ClientOp::Put {
+                key: Key::from_u64(i as u64 + 1),
+                value: Self::synthetic_value(i as u64, value_len),
+                policy,
+            })
+            .collect();
+        Client::new(proxy, script)
+    }
+
+    /// Deterministic synthetic object contents for workload key `i`.
+    pub fn synthetic_value(i: u64, len: usize) -> Bytes {
+        let mut v = Vec::with_capacity(len);
+        let mut state = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            v.push(state as u8);
+        }
+        Bytes::from(v)
+    }
+
+    /// Appends an operation to the script. The caller must also wake the
+    /// client with a scheduled timer if the simulation already started
+    /// (see [`Cluster::put`](crate::cluster::Cluster::put)).
+    pub fn enqueue(&mut self, op: ClientOp) {
+        self.script.push_back(op);
+    }
+
+    /// All operations done (script drained and nothing in flight)?
+    pub fn is_done(&self) -> bool {
+        self.script.is_empty() && self.in_flight.is_none()
+    }
+
+    /// Overrides the operation timeout (see the field docs).
+    pub fn set_op_timeout(&mut self, timeout: SimDuration) {
+        self.op_timeout = timeout;
+    }
+
+    /// Put attempts issued so far (the paper's "puts attempted").
+    pub fn puts_attempted(&self) -> u64 {
+        self.puts_attempted
+    }
+
+    /// Attempts that received no proxy answer before the client timeout.
+    pub fn puts_timed_out(&self) -> u64 {
+        self.puts_timed_out
+    }
+
+    /// Puts the proxy reported successful.
+    pub fn puts_succeeded(&self) -> u64 {
+        self.puts_succeeded
+    }
+
+    /// Versions whose put succeeded.
+    pub fn success_versions(&self) -> &BTreeSet<ObjectVersion> {
+        &self.success_versions
+    }
+
+    /// Versions created by failed attempts (candidates for excess-AMR or
+    /// non-durable classification).
+    pub fn failed_versions(&self) -> &BTreeSet<ObjectVersion> {
+        &self.failed_versions
+    }
+
+    /// The version the successful put of `key` produced.
+    pub fn version_of(&self, key: Key) -> Option<ObjectVersion> {
+        self.version_of.get(&key).copied()
+    }
+
+    /// Outcomes of completed gets, in completion order.
+    pub fn gets_done(&self) -> &[GetOutcome] {
+        &self.gets_done
+    }
+
+    fn kick(&mut self, ctx: &mut Context<'_, Message>, delay: SimDuration) {
+        if !self.wakeup_scheduled {
+            ctx.schedule_timer(delay, TAG_NEXT_OP);
+            self.wakeup_scheduled = true;
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, Message>) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        let Some(op) = self.script.pop_front() else {
+            return;
+        };
+        let id = self.next_op;
+        self.next_op += 1;
+        match &op {
+            ClientOp::Put { key, value, policy } => {
+                self.puts_attempted += 1;
+                ctx.send(
+                    self.proxy,
+                    Message::ClientPut {
+                        op: id,
+                        key: *key,
+                        value: value.clone(),
+                        policy: *policy,
+                    },
+                );
+            }
+            ClientOp::Get { key } => {
+                ctx.send(self.proxy, Message::ClientGet { op: id, key: *key });
+            }
+        }
+        self.in_flight = Some((id, op));
+        self.in_flight_timer = Some(ctx.schedule_timer(self.op_timeout, TAG_OP_TIMEOUT | id));
+    }
+
+    fn clear_in_flight_timer(&mut self, ctx: &mut Context<'_, Message>) {
+        if let Some(t) = self.in_flight_timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    /// The in-flight operation got no answer: count it and retry puts
+    /// (gets record a failed outcome).
+    fn on_op_timeout(&mut self, ctx: &mut Context<'_, Message>, id: OpId) {
+        let Some((current_id, op)) = self.in_flight.take() else {
+            return;
+        };
+        if current_id != id {
+            self.in_flight = Some((current_id, op));
+            return;
+        }
+        self.in_flight_timer = None;
+        match op {
+            put @ ClientOp::Put { .. } => {
+                self.puts_timed_out += 1;
+                self.script.push_front(put);
+                self.kick(ctx, self.retry_delay);
+            }
+            ClientOp::Get { key } => {
+                self.gets_done.push(GetOutcome { key, result: None });
+                self.kick(ctx, self.gap);
+            }
+        }
+    }
+}
+
+impl Actor<Message> for Client {
+    fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+        if !self.script.is_empty() {
+            self.kick(ctx, SimDuration::ZERO);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, _from: NodeId, msg: Message) {
+        match msg {
+            Message::ClientPutReply { op, ov, success } => {
+                let Some((id, current)) = self.in_flight.take() else {
+                    return;
+                };
+                if id != op {
+                    self.in_flight = Some((id, current));
+                    return;
+                }
+                self.clear_in_flight_timer(ctx);
+                let ClientOp::Put { key, .. } = &current else {
+                    debug_assert!(false, "put reply while get in flight");
+                    return;
+                };
+                if success {
+                    self.puts_succeeded += 1;
+                    self.success_versions.insert(ov);
+                    self.version_of.insert(*key, ov);
+                    self.kick(ctx, self.gap);
+                } else {
+                    // Retry the same logical put; a new attempt makes a
+                    // new object version (fresh timestamp).
+                    self.failed_versions.insert(ov);
+                    self.script.push_front(current);
+                    self.kick(ctx, self.retry_delay);
+                }
+            }
+            Message::ClientGetReply { op, result } => {
+                let Some((id, current)) = self.in_flight.take() else {
+                    return;
+                };
+                if id != op {
+                    self.in_flight = Some((id, current));
+                    return;
+                }
+                self.clear_in_flight_timer(ctx);
+                let ClientOp::Get { key } = &current else {
+                    debug_assert!(false, "get reply while put in flight");
+                    return;
+                };
+                self.gets_done.push(GetOutcome { key: *key, result });
+                self.kick(ctx, self.gap);
+            }
+            other => {
+                debug_assert!(false, "client received unexpected {:?}", other);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Message>, tag: u64) {
+        match tag & TAG_MASK {
+            TAG_OP_TIMEOUT => self.on_op_timeout(ctx, tag & !TAG_MASK),
+            _ => {
+                debug_assert_eq!(tag, TAG_NEXT_OP);
+                self.wakeup_scheduled = false;
+                self.issue_next(ctx);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_values_are_deterministic_and_distinct() {
+        let a = Client::synthetic_value(1, 256);
+        let b = Client::synthetic_value(1, 256);
+        let c = Client::synthetic_value(2, 256);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 256);
+    }
+
+    #[test]
+    fn standard_workload_has_one_put_per_key() {
+        let c = Client::standard_workload(NodeId::new(0), 5, 128, Policy::paper_default());
+        assert_eq!(c.script.len(), 5);
+        let keys: BTreeSet<Key> = c
+            .script
+            .iter()
+            .map(|op| match op {
+                ClientOp::Put { key, .. } => *key,
+                ClientOp::Get { key } => *key,
+            })
+            .collect();
+        assert_eq!(keys.len(), 5);
+        assert!(!c.is_done());
+    }
+
+    #[test]
+    fn empty_script_is_done() {
+        let c = Client::new(NodeId::new(0), Vec::new());
+        assert!(c.is_done());
+        assert_eq!(c.puts_attempted(), 0);
+    }
+}

@@ -1,0 +1,1433 @@
+//! The Fragment Server (FS) and the convergence protocol.
+//!
+//! An FS stores erasure-coded fragments together with the metadata needed
+//! to verify redundancy, and runs **convergence** (§3.4): in periodic
+//! rounds, it performs a *convergence step* for every object version it
+//! has not yet verified to be at maximum redundancy (AMR). A step does the
+//! first applicable of:
+//!
+//! 1. **metadata repair** — if its metadata is incomplete, probe a KLS per
+//!    missing data center (in a fixed order, §3.5) with
+//!    [`Message::FsDecideLocs`];
+//! 2. **fragment recovery** — if an assigned sibling fragment is missing,
+//!    retrieve `k` fragments and regenerate it (optionally regenerating
+//!    *all* missing sibling fragments on behalf of the siblings — the
+//!    sibling-fragment-recovery optimization, §4.2);
+//! 3. **verification** — otherwise probe every KLS and sibling FS with
+//!    converge messages; if all verify, the version is AMR and is removed
+//!    from the convergence store (optionally broadcasting an AMR
+//!    indication to the siblings, §4.1).
+//!
+//! Steps for a version back off exponentially while they keep failing
+//! (§3.5) and reset when new information arrives. Round scheduling,
+//! indications and sibling recovery are all governed by
+//! [`ConvergenceOptions`].
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use erasure::{Checksum, Codec, Fragment, FragmentIndex};
+use simnet::{Actor, Context, NodeId, SimTime, TimerId};
+
+use crate::convergence::{ConvergenceOptions, RoundSchedule};
+use crate::messages::{Message, OpId};
+use crate::metadata::Metadata;
+use crate::topology::{DataCenterId, Topology};
+use crate::types::ObjectVersion;
+
+/// Timer tags (upper byte selects the kind, low bits carry an op id).
+const TAG_ROUND: u64 = 1 << 56;
+const TAG_RECOVERY_WAIT: u64 = 2 << 56;
+const TAG_RECOVERY_TIMEOUT: u64 = 3 << 56;
+const TAG_SCRUB: u64 = 4 << 56;
+const TAG_MASK: u64 = 0xff << 56;
+
+/// Timer tag a harness may schedule on an FS (via
+/// [`Simulation::schedule_timer`](simnet::Simulation::schedule_timer)) to
+/// wake its convergence loop after mutating state externally — e.g. after
+/// [`Fs::destroy_disk`] or [`Fs::corrupt_fragment`].
+pub const WAKE_TIMER_TAG: u64 = TAG_ROUND;
+
+/// Stored fragments plus the metadata snapshot for one object version.
+#[derive(Debug, Clone)]
+pub struct FragEntry {
+    /// Best-known metadata.
+    pub meta: Metadata,
+    /// The sibling fragments this server holds, by fragment index.
+    pub fragments: BTreeMap<FragmentIndex, Fragment>,
+    /// Content hash recorded when each fragment was durably stored; the
+    /// scrubber and the read path verify against it to "detect disk
+    /// corruption using hashes" (§3.1).
+    pub checksums: BTreeMap<FragmentIndex, Checksum>,
+}
+
+/// Convergence bookkeeping for one not-yet-AMR object version.
+#[derive(Debug)]
+struct ConvWork {
+    /// When this FS first learned of the version (drives `min_age` and
+    /// `give_up_age`).
+    created: SimTime,
+    /// Unsuccessful steps so far (drives exponential backoff).
+    attempts: u32,
+    /// Next time a step may run.
+    next_eligible: SimTime,
+    /// KLSs that verified during the current step.
+    kls_ok: BTreeSet<NodeId>,
+    /// Sibling FSs that verified during the current step.
+    fs_ok: BTreeSet<NodeId>,
+    /// Whether a verification step is awaiting replies.
+    step_open: bool,
+    /// In-flight fragment recovery, if any.
+    recovery: Option<Recovery>,
+}
+
+impl ConvWork {
+    fn new(created: SimTime) -> Self {
+        ConvWork {
+            created,
+            attempts: 0,
+            next_eligible: created,
+            kls_ok: BTreeSet::new(),
+            fs_ok: BTreeSet::new(),
+            step_open: false,
+            recovery: None,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum RecoveryPhase {
+    /// Sibling mode: waiting for need-reports from siblings.
+    AwaitingReports,
+    /// Fetching fragments.
+    Fetching,
+}
+
+#[derive(Debug)]
+struct Recovery {
+    op: OpId,
+    phase: RecoveryPhase,
+    /// Sibling need-reports: fs → (has, missing).
+    reports: BTreeMap<NodeId, (Vec<FragmentIndex>, Vec<FragmentIndex>)>,
+    /// Fragments fetched so far.
+    collected: BTreeMap<FragmentIndex, Fragment>,
+    wait_timer: Option<TimerId>,
+    timeout_timer: TimerId,
+}
+
+/// A fragment server actor.
+pub struct Fs {
+    topo: Arc<Topology>,
+    my_dc: DataCenterId,
+    opts: ConvergenceOptions,
+    /// Own node id, captured at `on_start` (actors learn their id from the
+    /// context).
+    self_id: Option<NodeId>,
+    storefrag: BTreeMap<ObjectVersion, FragEntry>,
+    storemeta: BTreeMap<ObjectVersion, ConvWork>,
+    /// Versions verified (or indicated) AMR (with when this FS settled
+    /// them); no further convergence work.
+    amr_done: BTreeMap<ObjectVersion, SimTime>,
+    /// Versions abandoned after `give_up_age`.
+    gave_up: BTreeSet<ObjectVersion>,
+    round_scheduled: bool,
+    next_op: OpId,
+    /// Convergence steps executed (for tests and ablations).
+    steps_run: u64,
+    /// Recoveries completed locally (for tests and ablations).
+    recoveries_done: u64,
+    /// Corrupted fragments detected (by the scrubber or the read path).
+    corruption_detected: u64,
+}
+
+impl Fs {
+    /// Creates the FS for data center `my_dc` with the given convergence
+    /// configuration.
+    pub fn new(topo: Arc<Topology>, my_dc: DataCenterId, opts: ConvergenceOptions) -> Self {
+        Fs {
+            topo,
+            my_dc,
+            opts,
+            self_id: None,
+            storefrag: BTreeMap::new(),
+            storemeta: BTreeMap::new(),
+            amr_done: BTreeMap::new(),
+            gave_up: BTreeSet::new(),
+            round_scheduled: false,
+            next_op: 1,
+            steps_run: 0,
+            recoveries_done: 0,
+            corruption_detected: 0,
+        }
+    }
+
+    // ---- state inspection ----
+
+    /// The data center this FS lives in.
+    pub fn dc(&self) -> DataCenterId {
+        self.my_dc
+    }
+
+    /// The stored entry for `ov`, if any.
+    pub fn entry(&self, ov: ObjectVersion) -> Option<&FragEntry> {
+        self.storefrag.get(&ov)
+    }
+
+    /// Whether this FS holds every fragment assigned to it by `ov`'s
+    /// metadata and that metadata is complete (the per-FS half of the AMR
+    /// condition; the paper's `verify(storefrag[ov])`).
+    pub fn verified(&self, ov: ObjectVersion) -> bool {
+        self.storefrag.get(&ov).is_some_and(|e| {
+            e.meta.is_complete()
+                && e.meta
+                    .fragments_of(self.self_node())
+                    .iter()
+                    .all(|idx| e.fragments.contains_key(idx))
+        })
+    }
+
+    /// Versions still being converged.
+    pub fn pending_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
+        self.storemeta.keys().copied()
+    }
+
+    /// Versions this FS considers AMR.
+    pub fn amr_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
+        self.amr_done.keys().copied()
+    }
+
+    /// When this FS settled `ov` as AMR (verified it, or received an AMR
+    /// indication), if it has.
+    pub fn amr_settled_at(&self, ov: ObjectVersion) -> Option<SimTime> {
+        self.amr_done.get(&ov).copied()
+    }
+
+    /// Every version present in the fragment store.
+    pub fn known_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
+        self.storefrag.keys().copied()
+    }
+
+    /// Versions abandoned after exceeding the give-up age.
+    pub fn gave_up_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
+        self.gave_up.iter().copied()
+    }
+
+    /// Total convergence steps this FS has executed.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Fragment recoveries this FS completed.
+    pub fn recoveries_done(&self) -> u64 {
+        self.recoveries_done
+    }
+
+    /// Corrupted fragments detected so far (scrubber + read path).
+    pub fn corruption_detected(&self) -> u64 {
+        self.corruption_detected
+    }
+
+    // ---- fault injection (harness API) ----
+
+    /// Silently corrupts a stored fragment by flipping one payload byte
+    /// without touching its recorded checksum — simulating bit rot on
+    /// disk. Returns `false` if the fragment is not stored (or empty).
+    /// Wake the FS with [`WAKE_TIMER_TAG`] afterwards if you want the
+    /// scrubber disabled and detection to happen on the next read
+    /// instead.
+    pub fn corrupt_fragment(&mut self, ov: ObjectVersion, idx: FragmentIndex) -> bool {
+        let Some(entry) = self.storefrag.get_mut(&ov) else {
+            return false;
+        };
+        let Some(frag) = entry.fragments.get_mut(&idx) else {
+            return false;
+        };
+        if frag.is_empty() {
+            return false;
+        }
+        let mut bytes = frag.data().to_vec();
+        bytes[0] ^= 0xFF;
+        *frag = Fragment::new(idx, bytes);
+        true
+    }
+
+    /// Destroys one disk: every fragment this server stores on `disk`
+    /// (per each version's metadata) is dropped, and the affected
+    /// versions re-enter the convergence store so their fragments get
+    /// rebuilt (§3.1's "rebuild destroyed disks"). Returns the number of
+    /// fragments lost. Wake the FS with [`WAKE_TIMER_TAG`] afterwards.
+    pub fn destroy_disk(&mut self, disk: u8, now: SimTime) -> usize {
+        let me = match self.self_id {
+            Some(id) => id,
+            None => return 0, // never ran; stores nothing
+        };
+        let mut lost = 0;
+        let versions: Vec<ObjectVersion> = self.storefrag.keys().copied().collect();
+        for ov in versions {
+            let doomed: Vec<FragmentIndex> = {
+                let entry = &self.storefrag[&ov];
+                entry
+                    .meta
+                    .assignments()
+                    .filter(|(idx, loc)| {
+                        loc.fs == me && loc.disk == disk && entry.fragments.contains_key(idx)
+                    })
+                    .map(|(idx, _)| idx)
+                    .collect()
+            };
+            if doomed.is_empty() {
+                continue;
+            }
+            let entry = self.storefrag.get_mut(&ov).expect("present");
+            for idx in &doomed {
+                entry.fragments.remove(idx);
+                entry.checksums.remove(idx);
+                lost += 1;
+            }
+            self.re_pend(ov, now);
+        }
+        lost
+    }
+
+    /// Re-enters a version into the convergence store (after corruption
+    /// or disk loss), clearing any AMR/give-up status.
+    fn re_pend(&mut self, ov: ObjectVersion, now: SimTime) {
+        self.amr_done.remove(&ov);
+        self.gave_up.remove(&ov);
+        let work = self
+            .storemeta
+            .entry(ov)
+            .or_insert_with(|| ConvWork::new(now));
+        work.attempts = 0;
+        work.next_eligible = now;
+    }
+
+    /// Verifies every stored fragment against its recorded checksum;
+    /// corrupted fragments are dropped and their versions re-entered for
+    /// convergence (which regenerates them from the siblings). Returns
+    /// the number of corrupted fragments found.
+    fn scrub(&mut self, ctx: &mut Context<'_, Message>) -> usize {
+        let now = ctx.now();
+        let mut found = 0;
+        let versions: Vec<ObjectVersion> = self.storefrag.keys().copied().collect();
+        for ov in versions {
+            let bad: Vec<FragmentIndex> = {
+                let entry = &self.storefrag[&ov];
+                entry
+                    .fragments
+                    .iter()
+                    .filter(|(idx, frag)| {
+                        !entry
+                            .checksums
+                            .get(idx)
+                            .is_some_and(|sum| sum.verify(frag.data()))
+                    })
+                    .map(|(&idx, _)| idx)
+                    .collect()
+            };
+            if bad.is_empty() {
+                continue;
+            }
+            let entry = self.storefrag.get_mut(&ov).expect("present");
+            for idx in &bad {
+                entry.fragments.remove(idx);
+                entry.checksums.remove(idx);
+                found += 1;
+            }
+            self.re_pend(ov, now);
+        }
+        self.corruption_detected += found as u64;
+        if found > 0 {
+            self.ensure_round(ctx);
+        }
+        found
+    }
+
+    // ---- internals ----
+
+    /// This FS's own node id. Valid only while processing an event, so we
+    /// thread it through from the context; stored here for inspection
+    /// methods we keep a copy the first time an event runs.
+    fn self_node(&self) -> NodeId {
+        self.self_id.expect("FS has processed at least one event")
+    }
+
+    fn ensure_round(&mut self, ctx: &mut Context<'_, Message>) {
+        if self.round_scheduled || self.storemeta.is_empty() {
+            return;
+        }
+        let delay = match self.opts.schedule {
+            RoundSchedule::Unsynchronized => {
+                let lo = self.opts.round_min.as_micros();
+                let hi = self.opts.round_max.as_micros();
+                simnet::SimDuration::from_micros(rand::Rng::random_range(ctx.rng(), lo..=hi))
+            }
+            RoundSchedule::Synchronized => {
+                // Fire at the next global multiple of the period.
+                let period = self.opts.sync_period.as_micros();
+                let now = ctx.now().as_micros();
+                let next = (now / period + 1) * period;
+                simnet::SimDuration::from_micros(next - now)
+            }
+        };
+        ctx.schedule_timer(delay, TAG_ROUND);
+        self.round_scheduled = true;
+    }
+
+    /// New information arrived for `ov`: reset its backoff so convergence
+    /// reacts promptly, and make sure a round is coming.
+    fn note_progress(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        if let Some(work) = self.storemeta.get_mut(&ov) {
+            work.attempts = 0;
+            work.next_eligible = ctx.now();
+        }
+        self.ensure_round(ctx);
+    }
+
+    /// Ensures both stores track `ov` (unless it is already AMR) and
+    /// merges `meta` in. Returns `true` if the metadata gained locations.
+    fn adopt(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        ov: ObjectVersion,
+        meta: &Metadata,
+    ) -> bool {
+        let entry = self.storefrag.entry(ov).or_insert_with(|| FragEntry {
+            meta: meta.clone(),
+            fragments: BTreeMap::new(),
+            checksums: BTreeMap::new(),
+        });
+        let changed = entry.meta.merge(meta);
+        if !self.amr_done.contains_key(&ov) && !self.gave_up.contains(&ov) {
+            let now = ctx.now();
+            self.storemeta
+                .entry(ov)
+                .or_insert_with(|| ConvWork::new(now));
+            if changed {
+                self.note_progress(ctx, ov);
+            } else {
+                self.ensure_round(ctx);
+            }
+        }
+        changed
+    }
+
+    /// Marks `ov` AMR: drop convergence work, optionally broadcast FS AMR
+    /// indications.
+    fn finalize_amr(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion, indicate: bool) {
+        if let Some(work) = self.storemeta.remove(&ov) {
+            if let Some(rec) = work.recovery {
+                self.cancel_recovery_timers(ctx, &rec);
+            }
+        }
+        self.amr_done.insert(ov, ctx.now());
+        if indicate && self.opts.fs_amr_indication {
+            let me = ctx.self_id();
+            let meta = self.storefrag[&ov].meta.clone();
+            for fs in meta.sibling_fss() {
+                if fs != me {
+                    ctx.send(
+                        fs,
+                        Message::AmrIndication {
+                            ov,
+                            meta: meta.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn cancel_recovery_timers(&self, ctx: &mut Context<'_, Message>, rec: &Recovery) {
+        if let Some(t) = rec.wait_timer {
+            ctx.cancel_timer(t);
+        }
+        ctx.cancel_timer(rec.timeout_timer);
+    }
+
+    /// Abandons an in-flight recovery (backoff already set by the step
+    /// that started it).
+    fn abort_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        if let Some(work) = self.storemeta.get_mut(&ov) {
+            if let Some(rec) = work.recovery.take() {
+                let rec_timers = rec;
+                self.cancel_recovery_timers(ctx, &rec_timers);
+            }
+        }
+    }
+
+    /// Runs one convergence round (the paper's `start_round`).
+    fn run_round(&mut self, ctx: &mut Context<'_, Message>) {
+        let now = ctx.now();
+        let versions: Vec<ObjectVersion> = self.storemeta.keys().copied().collect();
+        for ov in versions {
+            let work = &self.storemeta[&ov];
+            if work.recovery.is_some() || now < work.next_eligible {
+                continue;
+            }
+            if now.duration_since(work.created) < self.opts.min_age {
+                continue;
+            }
+            if let Some(limit) = self.opts.give_up_age {
+                if now.duration_since(work.created) > limit {
+                    self.storemeta.remove(&ov);
+                    self.gave_up.insert(ov);
+                    continue;
+                }
+            }
+            self.step(ctx, ov);
+        }
+        self.ensure_round(ctx);
+    }
+
+    /// One convergence step for one object version.
+    fn step(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        self.steps_run += 1;
+        let me = ctx.self_id();
+        let entry = self
+            .storefrag
+            .get(&ov)
+            .expect("storemeta implies storefrag");
+        let meta = entry.meta.clone();
+        let missing = self.missing_fragments(me, &ov);
+
+        // Charge the backoff up front; any new information resets it.
+        {
+            let work = self.storemeta.get_mut(&ov).expect("checked by caller");
+            work.attempts += 1;
+            let delay = self.opts.backoff_delay(work.attempts);
+            work.next_eligible = ctx.now() + delay;
+            work.step_open = false;
+        }
+
+        if !meta.is_complete() {
+            // 1. Metadata repair: probe one KLS per missing DC, rotating
+            // through the DC's KLSs across attempts (§3.5 fixed order).
+            let attempt = self.storemeta[&ov].attempts as usize;
+            for dc in self.topo.dc_ids() {
+                if meta.has_dc(dc) {
+                    continue;
+                }
+                let klss = self.topo.klss_in(dc);
+                let kls = klss[(attempt - 1) % klss.len()];
+                ctx.send(
+                    kls,
+                    Message::FsDecideLocs {
+                        ov,
+                        meta: meta.clone(),
+                    },
+                );
+            }
+        } else if !missing.is_empty() {
+            // 2. Fragment recovery.
+            self.start_recovery(ctx, ov);
+        } else {
+            // 3. Verification: probe all KLSs and sibling FSs.
+            let work = self.storemeta.get_mut(&ov).expect("present");
+            work.kls_ok.clear();
+            work.fs_ok.clear();
+            work.step_open = true;
+            let klss: Vec<NodeId> = self.topo.all_klss().collect();
+            for kls in klss {
+                ctx.send(
+                    kls,
+                    Message::ConvergeKls {
+                        ov,
+                        meta: meta.clone(),
+                    },
+                );
+            }
+            for fs in meta.sibling_fss() {
+                if fs != me {
+                    ctx.send(
+                        fs,
+                        Message::ConvergeFs {
+                            ov,
+                            meta: meta.clone(),
+                            recovery_intent: false,
+                        },
+                    );
+                }
+            }
+            self.check_amr(ctx, ov);
+        }
+    }
+
+    /// Fragment indices assigned to `me` that are not in the store.
+    fn missing_fragments(&self, me: NodeId, ov: &ObjectVersion) -> Vec<FragmentIndex> {
+        let entry = &self.storefrag[ov];
+        entry
+            .meta
+            .fragments_of(me)
+            .into_iter()
+            .filter(|idx| !entry.fragments.contains_key(idx))
+            .collect()
+    }
+
+    fn start_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        let me = ctx.self_id();
+        let op = self.next_op;
+        self.next_op += 1;
+        let meta = self.storefrag[&ov].meta.clone();
+        let timeout_timer =
+            ctx.schedule_timer(self.opts.recovery_timeout, TAG_RECOVERY_TIMEOUT | op);
+
+        if self.opts.sibling_recovery {
+            // Probe siblings with the recovery-intent flag; their replies
+            // report what they need; we fetch after a short accumulation
+            // window.
+            for fs in meta.sibling_fss() {
+                if fs != me {
+                    ctx.send(
+                        fs,
+                        Message::ConvergeFs {
+                            ov,
+                            meta: meta.clone(),
+                            recovery_intent: true,
+                        },
+                    );
+                }
+            }
+            let wait_timer = ctx.schedule_timer(self.opts.recovery_wait, TAG_RECOVERY_WAIT | op);
+            let work = self.storemeta.get_mut(&ov).expect("present");
+            work.recovery = Some(Recovery {
+                op,
+                phase: RecoveryPhase::AwaitingReports,
+                reports: BTreeMap::new(),
+                collected: BTreeMap::new(),
+                wait_timer: Some(wait_timer),
+                timeout_timer,
+            });
+        } else {
+            // Naïve recovery: a get of this object version — request every
+            // remotely assigned fragment (§3.4 `recover_fragment`).
+            for (idx, loc) in meta.assignments() {
+                if loc.fs != me {
+                    ctx.send(
+                        loc.fs,
+                        Message::RetrieveFrag {
+                            op,
+                            ov,
+                            fragment: idx,
+                        },
+                    );
+                }
+            }
+            let work = self.storemeta.get_mut(&ov).expect("present");
+            work.recovery = Some(Recovery {
+                op,
+                phase: RecoveryPhase::Fetching,
+                reports: BTreeMap::new(),
+                collected: BTreeMap::new(),
+                wait_timer: None,
+                timeout_timer,
+            });
+        }
+    }
+
+    /// The recovery-wait window closed: pick fragments to fetch based on
+    /// the siblings' reports.
+    fn recovery_wait_elapsed(&mut self, ctx: &mut Context<'_, Message>, op: OpId) {
+        let Some((ov, _)) = self.find_recovery(op) else {
+            return;
+        };
+        let me = ctx.self_id();
+        let local: BTreeSet<FragmentIndex> =
+            self.storefrag[&ov].fragments.keys().copied().collect();
+        let k = usize::from(self.storefrag[&ov].meta.policy().k);
+
+        // Plan fetches: iterate reports in id order, taking fragments we
+        // neither hold nor already planned, until k total are available.
+        let mut plan: Vec<(NodeId, FragmentIndex)> = Vec::new();
+        let mut planned: BTreeSet<FragmentIndex> = local.clone();
+        {
+            let work = self.storemeta.get_mut(&ov).expect("recovering");
+            let rec = work.recovery.as_mut().expect("recovering");
+            rec.phase = RecoveryPhase::Fetching;
+            rec.wait_timer = None;
+            for (&fs, (have, _)) in &rec.reports {
+                for &idx in have {
+                    if planned.len() >= k {
+                        break;
+                    }
+                    if !planned.contains(&idx) {
+                        planned.insert(idx);
+                        plan.push((fs, idx));
+                    }
+                }
+            }
+        }
+        if planned.len() < k {
+            // Not enough fragments reachable right now; retry at a later
+            // round (backoff was charged when the step started).
+            self.abort_recovery(ctx, ov);
+            return;
+        }
+        debug_assert!(!plan.iter().any(|(fs, _)| *fs == me));
+        for (fs, idx) in plan {
+            let op = self.storemeta[&ov]
+                .recovery
+                .as_ref()
+                .expect("recovering")
+                .op;
+            ctx.send(
+                fs,
+                Message::RetrieveFrag {
+                    op,
+                    ov,
+                    fragment: idx,
+                },
+            );
+        }
+        // If we already hold k fragments locally (possible when only our
+        // *other* disk's fragment is missing), finish immediately.
+        if local.len() >= k {
+            self.try_finish_recovery(ctx, ov);
+        }
+    }
+
+    fn find_recovery(&self, op: OpId) -> Option<(ObjectVersion, &Recovery)> {
+        self.storemeta
+            .iter()
+            .find_map(|(ov, w)| w.recovery.as_ref().filter(|r| r.op == op).map(|r| (*ov, r)))
+    }
+
+    /// Completes the recovery if enough fragments are on hand: regenerate
+    /// our missing fragments (and, in sibling mode, everything the
+    /// siblings reported missing) and push the siblings' shares to them.
+    fn try_finish_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        let me = ctx.self_id();
+        let entry = &self.storefrag[&ov];
+        let k = usize::from(entry.meta.policy().k);
+        let n = usize::from(entry.meta.policy().n);
+        let value_len = entry.meta.value_len();
+
+        let work = &self.storemeta[&ov];
+        let rec = work.recovery.as_ref().expect("recovery in flight");
+        let mut pool: BTreeMap<FragmentIndex, Fragment> = entry.fragments.clone();
+        for (idx, frag) in &rec.collected {
+            pool.entry(*idx).or_insert_with(|| frag.clone());
+        }
+        if pool.len() < k {
+            return; // keep waiting for more RetrieveFragReply
+        }
+
+        let mut targets: Vec<FragmentIndex> = self.missing_fragments(me, &ov);
+        let mut sibling_needs: Vec<(NodeId, Vec<FragmentIndex>)> = Vec::new();
+        if self.opts.sibling_recovery {
+            for (&fs, (_, missing)) in &rec.reports {
+                if !missing.is_empty() {
+                    sibling_needs.push((fs, missing.clone()));
+                    targets.extend(missing.iter().copied());
+                }
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+
+        let codec = Codec::new(k, n).expect("policy validated at put time");
+        let sources: Vec<Fragment> = pool.values().cloned().collect();
+        let recovered = codec
+            .recover(&sources, &targets, value_len)
+            .expect("k fragments suffice");
+        let by_idx: BTreeMap<FragmentIndex, Fragment> =
+            recovered.into_iter().map(|f| (f.index(), f)).collect();
+
+        // Store our own missing fragments.
+        let my_missing = self.missing_fragments(me, &ov);
+        let meta = self.storefrag[&ov].meta.clone();
+        {
+            let entry = self.storefrag.get_mut(&ov).expect("present");
+            for idx in my_missing {
+                let frag = by_idx[&idx].clone();
+                entry.checksums.insert(idx, Checksum::of(frag.data()));
+                entry.fragments.insert(idx, frag);
+            }
+        }
+        // Push the siblings' recovered fragments to them (§4.2).
+        for (fs, needs) in sibling_needs {
+            for idx in needs {
+                ctx.send(
+                    fs,
+                    Message::SiblingStore {
+                        ov,
+                        meta: meta.clone(),
+                        fragment: by_idx[&idx].clone(),
+                    },
+                );
+            }
+        }
+
+        self.recoveries_done += 1;
+        let work = self.storemeta.get_mut(&ov).expect("present");
+        let rec = work.recovery.take().expect("recovery in flight");
+        self.cancel_recovery_timers(ctx, &rec);
+        self.note_progress(ctx, ov);
+    }
+
+    /// Records a verification-step reply and finalizes AMR when everyone
+    /// verified (the paper's `is_amr`).
+    fn check_amr(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        let me = ctx.self_id();
+        let Some(work) = self.storemeta.get(&ov) else {
+            return;
+        };
+        if !work.step_open {
+            return;
+        }
+        let meta = &self.storefrag[&ov].meta;
+        let all_kls: BTreeSet<NodeId> = self.topo.all_klss().collect();
+        let siblings: BTreeSet<NodeId> = meta
+            .sibling_fss()
+            .into_iter()
+            .filter(|&fs| fs != me)
+            .collect();
+        if work.kls_ok.is_superset(&all_kls)
+            && work.fs_ok.is_superset(&siblings)
+            && self.verified(ov)
+        {
+            self.finalize_amr(ctx, ov, true);
+        }
+    }
+
+    /// Store a fragment (from a proxy put, or a sibling push).
+    fn store_fragment(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        ov: ObjectVersion,
+        meta: &Metadata,
+        fragment: Fragment,
+    ) {
+        self.adopt(ctx, ov, meta);
+        let entry = self.storefrag.get_mut(&ov).expect("adopted");
+        let idx = fragment.index();
+        if !entry.fragments.contains_key(&idx) {
+            entry.checksums.insert(idx, Checksum::of(fragment.data()));
+            entry.fragments.insert(idx, fragment);
+        }
+        self.note_progress(ctx, ov);
+    }
+
+    /// Self id captured from the first processed event (actors do not know
+    /// their id before that).
+    fn remember_self(&mut self, ctx: &Context<'_, Message>) {
+        if self.self_id.is_none() {
+            self.self_id = Some(ctx.self_id());
+        }
+    }
+}
+
+impl Actor<Message> for Fs {
+    fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+        self.self_id = Some(ctx.self_id());
+        if let Some(interval) = self.opts.scrub_interval {
+            ctx.schedule_timer(interval, TAG_SCRUB);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, msg: Message) {
+        self.remember_self(ctx);
+        let me = ctx.self_id();
+        match msg {
+            Message::StoreFragment { ov, meta, fragment } => {
+                let idx = fragment.index();
+                self.store_fragment(ctx, ov, &meta, fragment);
+                ctx.send(from, Message::StoreFragmentReply { ov, fragment: idx });
+            }
+
+            Message::StoreMetadata { ov, meta } => {
+                // Proxy location update for a fragment we already hold
+                // (second wave of the put, §5.2).
+                self.adopt(ctx, ov, &meta);
+                let complete = self.storefrag[&ov].meta.is_complete();
+                ctx.send(from, Message::StoreMetadataReply { ov, complete });
+            }
+
+            Message::SiblingStore { ov, meta, fragment } => {
+                // Recovered fragment pushed by a sibling; unacknowledged.
+                self.store_fragment(ctx, ov, &meta, fragment);
+            }
+
+            Message::LocsIndication { ov, meta } => {
+                self.adopt(ctx, ov, &meta);
+            }
+
+            Message::AmrIndication { ov, meta } => {
+                // Complete our metadata and stop all convergence work.
+                self.adopt(ctx, ov, &meta);
+                if let Some(work) = self.storemeta.get(&ov) {
+                    if let Some(rec) = &work.recovery {
+                        let op = rec.op;
+                        self.recovery_cancelled(ctx, ov, op);
+                    }
+                }
+                self.storemeta.remove(&ov);
+                self.amr_done.insert(ov, ctx.now());
+            }
+
+            Message::ConvergeFs {
+                ov,
+                meta,
+                recovery_intent,
+            } => {
+                self.adopt(ctx, ov, &meta);
+                // Sibling-recovery contention: both of us are recovering —
+                // the FS with the *lower* id backs off (§4.2).
+                if recovery_intent
+                    && self.opts.sibling_recovery
+                    && me < from
+                    && self
+                        .storemeta
+                        .get(&ov)
+                        .is_some_and(|w| w.recovery.is_some())
+                {
+                    let op = self.storemeta[&ov].recovery.as_ref().expect("checked").op;
+                    self.recovery_cancelled(ctx, ov, op);
+                }
+                let entry = &self.storefrag[&ov];
+                let have: Vec<FragmentIndex> = entry.fragments.keys().copied().collect();
+                let missing = if entry.meta.is_complete() {
+                    self.missing_fragments(me, &ov)
+                } else {
+                    Vec::new()
+                };
+                let verified = self.verified(ov);
+                let recovering = self
+                    .storemeta
+                    .get(&ov)
+                    .is_some_and(|w| w.recovery.is_some());
+                ctx.send(
+                    from,
+                    Message::ConvergeFsReply {
+                        ov,
+                        verified,
+                        have,
+                        missing,
+                        recovering,
+                    },
+                );
+            }
+
+            Message::ConvergeFsReply {
+                ov,
+                verified,
+                have,
+                missing,
+                recovering,
+            } => {
+                let Some(work) = self.storemeta.get_mut(&ov) else {
+                    return;
+                };
+                // Verification bookkeeping.
+                if verified {
+                    work.fs_ok.insert(from);
+                }
+                // Recovery bookkeeping.
+                if let Some(rec) = work.recovery.as_mut() {
+                    if rec.phase == RecoveryPhase::AwaitingReports {
+                        rec.reports.insert(from, (have, missing));
+                    }
+                    // Contention observed from the reply side: the sender
+                    // (higher id) is also recovering — we back off if our
+                    // id is lower.
+                    if recovering && me < from {
+                        let op = rec.op;
+                        self.recovery_cancelled(ctx, ov, op);
+                        return;
+                    }
+                }
+                self.check_amr(ctx, ov);
+            }
+
+            Message::ConvergeKlsReply { ov, verified } => {
+                if let Some(work) = self.storemeta.get_mut(&ov) {
+                    if verified {
+                        work.kls_ok.insert(from);
+                    }
+                }
+                self.check_amr(ctx, ov);
+            }
+
+            Message::DecideLocsReply { ov, dc, locations } => {
+                // Reply to our FsDecideLocs probe.
+                if let Some(entry) = self.storefrag.get_mut(&ov) {
+                    if !entry.meta.has_dc(dc) {
+                        entry.meta.add_dc_locations(dc, locations);
+                        self.note_progress(ctx, ov);
+                    }
+                }
+            }
+
+            Message::RetrieveFrag { op, ov, fragment } => {
+                // Verify before serving: a fragment that fails its hash
+                // is corrupt — drop it, answer ⊥, and let convergence
+                // regenerate it (§3.1).
+                let mut data = None;
+                if let Some(entry) = self.storefrag.get(&ov) {
+                    if let Some(frag) = entry.fragments.get(&fragment) {
+                        let ok = entry
+                            .checksums
+                            .get(&fragment)
+                            .is_some_and(|sum| sum.verify(frag.data()));
+                        if ok {
+                            data = Some(frag.clone());
+                        }
+                    }
+                }
+                if data.is_none()
+                    && self
+                        .storefrag
+                        .get(&ov)
+                        .is_some_and(|e| e.fragments.contains_key(&fragment))
+                {
+                    // Present but corrupt.
+                    let now = ctx.now();
+                    let entry = self.storefrag.get_mut(&ov).expect("present");
+                    entry.fragments.remove(&fragment);
+                    entry.checksums.remove(&fragment);
+                    self.corruption_detected += 1;
+                    self.re_pend(ov, now);
+                    self.ensure_round(ctx);
+                }
+                ctx.send(
+                    from,
+                    Message::RetrieveFragReply {
+                        op,
+                        ov,
+                        fragment,
+                        data,
+                    },
+                );
+            }
+
+            Message::RetrieveFragReply { op, ov, data, .. } => {
+                let Some(work) = self.storemeta.get_mut(&ov) else {
+                    return;
+                };
+                let Some(rec) = work.recovery.as_mut() else {
+                    return;
+                };
+                if rec.op != op || rec.phase != RecoveryPhase::Fetching {
+                    return;
+                }
+                if let Some(frag) = data {
+                    rec.collected.insert(frag.index(), frag);
+                }
+                self.try_finish_recovery(ctx, ov);
+            }
+
+            other => {
+                debug_assert!(false, "FS received unexpected {:?}", other);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Message>, tag: u64) {
+        self.remember_self(ctx);
+        let op = tag & !TAG_MASK;
+        match tag & TAG_MASK {
+            TAG_ROUND => {
+                self.round_scheduled = false;
+                self.run_round(ctx);
+            }
+            TAG_RECOVERY_WAIT => self.recovery_wait_elapsed(ctx, op),
+            TAG_RECOVERY_TIMEOUT => {
+                if let Some((ov, _)) = self.find_recovery(op) {
+                    self.abort_recovery(ctx, ov);
+                    self.ensure_round(ctx);
+                }
+            }
+            TAG_SCRUB => {
+                self.scrub(ctx);
+                if let Some(interval) = self.opts.scrub_interval {
+                    ctx.schedule_timer(interval, TAG_SCRUB);
+                }
+            }
+            _ => debug_assert!(false, "unknown FS timer tag {tag:#x}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl Fs {
+    /// Cancels the in-flight recovery identified by `op` for `ov`.
+    fn recovery_cancelled(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion, op: OpId) {
+        if let Some(work) = self.storemeta.get_mut(&ov) {
+            if let Some(rec) = work.recovery.take() {
+                debug_assert_eq!(rec.op, op);
+                self.cancel_recovery_timers(ctx, &rec);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kls::Kls;
+    use crate::metadata::Location;
+    use crate::policy::Policy;
+    use crate::types::{Key, Timestamp};
+    use simnet::{SimDuration, Simulation};
+
+    /// Tiny world: 2 DCs x (1 KLS + 1 FS), policy (k=2, n=4), 2 frags
+    /// per FS. Node ids: kls0=0, fs0=1, kls1=2, fs1=3, driver=4.
+    fn tiny_topo() -> Arc<Topology> {
+        Topology::new(vec![
+            (vec![NodeId::new(0)], vec![NodeId::new(1)]),
+            (vec![NodeId::new(2)], vec![NodeId::new(3)]),
+        ])
+    }
+
+    fn tiny_policy() -> Policy {
+        Policy::new(2, 4, 2, 2)
+    }
+
+    fn ov() -> ObjectVersion {
+        ObjectVersion::new(Key::from_u64(9), Timestamp::new(SimTime::from_micros(5), 0))
+    }
+
+    fn full_meta(value_len: usize) -> Metadata {
+        let mut meta = Metadata::new(tiny_policy(), DataCenterId::new(0), value_len);
+        meta.add_dc_locations(
+            DataCenterId::new(0),
+            vec![
+                Location {
+                    fs: NodeId::new(1),
+                    disk: 0,
+                },
+                Location {
+                    fs: NodeId::new(1),
+                    disk: 1,
+                },
+            ],
+        );
+        meta.add_dc_locations(
+            DataCenterId::new(1),
+            vec![
+                Location {
+                    fs: NodeId::new(3),
+                    disk: 0,
+                },
+                Location {
+                    fs: NodeId::new(3),
+                    disk: 1,
+                },
+            ],
+        );
+        meta
+    }
+
+    /// A driver that injects a fixed script of messages at start and
+    /// records everything it receives.
+    struct Driver {
+        script: Vec<(NodeId, Message)>,
+        received: Vec<(NodeId, &'static str)>,
+    }
+    impl Actor<Message> for Driver {
+        fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+            for (to, msg) in self.script.drain(..) {
+                ctx.send(to, msg);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Message>, from: NodeId, msg: Message) {
+            self.received.push((from, simnet::Payload::kind(&msg)));
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Message>, _tag: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Builds the tiny world with the given convergence options and a
+    /// driver script; returns the simulation and the node ids.
+    fn tiny_world(
+        opts: ConvergenceOptions,
+        script: Vec<(NodeId, Message)>,
+    ) -> (Simulation<Message>, NodeId, NodeId, NodeId) {
+        let topo = tiny_topo();
+        let mut sim = Simulation::new(7);
+        sim.add_actor(Kls::new(topo.clone(), DataCenterId::new(0)));
+        let fs0 = sim.add_actor(Fs::new(topo.clone(), DataCenterId::new(0), opts.clone()));
+        sim.add_actor(Kls::new(topo.clone(), DataCenterId::new(1)));
+        let fs1 = sim.add_actor(Fs::new(topo.clone(), DataCenterId::new(1), opts));
+        let driver = sim.add_actor(Driver {
+            script,
+            received: Vec::new(),
+        });
+        (sim, fs0, fs1, driver)
+    }
+
+    fn frags(value_len: usize) -> Vec<Fragment> {
+        let codec = Codec::new(2, 4).unwrap();
+        codec.encode(&vec![0xEE; value_len])
+    }
+
+    #[test]
+    fn store_fragment_is_acknowledged_and_tracked() {
+        let meta = full_meta(100);
+        let fs_node = NodeId::new(1);
+        let (mut sim, fs0, _, driver) = tiny_world(
+            ConvergenceOptions::all(),
+            vec![(
+                fs_node,
+                Message::StoreFragment {
+                    ov: ov(),
+                    meta: meta.clone(),
+                    fragment: frags(100)[0].clone(),
+                },
+            )],
+        );
+        sim.run_until_time(SimTime::from_micros(200_000));
+        let fs: &Fs = sim.actor(fs0);
+        assert_eq!(fs.known_versions().count(), 1);
+        assert_eq!(fs.pending_versions().count(), 1, "convergence pending");
+        assert!(!fs.verified(ov()), "second fragment still missing");
+        let d: &Driver = sim.actor(driver);
+        assert_eq!(d.received, vec![(fs_node, "StoreFragmentRep")]);
+    }
+
+    #[test]
+    fn verified_requires_complete_meta_and_all_fragments() {
+        let meta = full_meta(100);
+        let f = frags(100);
+        let fs_node = NodeId::new(1);
+        let (mut sim, fs0, _, _) = tiny_world(
+            ConvergenceOptions::all(),
+            vec![
+                (
+                    fs_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: meta.clone(),
+                        fragment: f[0].clone(),
+                    },
+                ),
+                (
+                    fs_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: meta.clone(),
+                        fragment: f[1].clone(),
+                    },
+                ),
+            ],
+        );
+        sim.run_until_time(SimTime::from_micros(200_000));
+        let fs: &Fs = sim.actor(fs0);
+        assert!(fs.verified(ov()), "both assigned fragments present");
+        assert_eq!(fs.dc(), DataCenterId::new(0));
+    }
+
+    #[test]
+    fn amr_indication_stops_convergence_and_completes_meta() {
+        // Deliver a fragment with *partial* metadata, then an AMR
+        // indication carrying the complete metadata: the FS must drop the
+        // version from its convergence store and still answer converge
+        // probes positively afterwards.
+        let mut partial = Metadata::new(tiny_policy(), DataCenterId::new(0), 100);
+        partial.add_dc_locations(
+            DataCenterId::new(0),
+            vec![
+                Location {
+                    fs: NodeId::new(1),
+                    disk: 0,
+                },
+                Location {
+                    fs: NodeId::new(1),
+                    disk: 1,
+                },
+            ],
+        );
+        let f = frags(100);
+        let fs_node = NodeId::new(1);
+        let (mut sim, fs0, _, _) = tiny_world(
+            ConvergenceOptions::all(),
+            vec![
+                (
+                    fs_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: partial.clone(),
+                        fragment: f[0].clone(),
+                    },
+                ),
+                (
+                    fs_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: partial,
+                        fragment: f[1].clone(),
+                    },
+                ),
+                (
+                    fs_node,
+                    Message::AmrIndication {
+                        ov: ov(),
+                        meta: full_meta(100),
+                    },
+                ),
+            ],
+        );
+        sim.run_until_time(SimTime::from_micros(200_000));
+        let fs: &Fs = sim.actor(fs0);
+        assert_eq!(fs.pending_versions().count(), 0);
+        assert_eq!(fs.amr_versions().count(), 1);
+        assert!(fs.verified(ov()), "indication completed the metadata");
+        assert_eq!(fs.steps_run(), 0, "no convergence work was done");
+    }
+
+    #[test]
+    fn converge_probe_on_unknown_version_adopts_it() {
+        // Fig. 4 lines 17-18: an FS receiving converge for an unknown
+        // version adopts the metadata with a ⊥ fragment and schedules
+        // convergence work of its own (which will recover the fragment).
+        let fs1_node = NodeId::new(3);
+        let (mut sim, _, fs1, driver) = tiny_world(
+            ConvergenceOptions::all(),
+            vec![(
+                fs1_node,
+                Message::ConvergeFs {
+                    ov: ov(),
+                    meta: full_meta(100),
+                    recovery_intent: false,
+                },
+            )],
+        );
+        sim.run_until_time(SimTime::from_micros(100_000));
+        let fs: &Fs = sim.actor(fs1);
+        assert_eq!(fs.known_versions().count(), 1);
+        assert_eq!(fs.pending_versions().count(), 1);
+        assert!(!fs.verified(ov()), "no fragments yet");
+        let d: &Driver = sim.actor(driver);
+        assert_eq!(d.received, vec![(fs1_node, "FSConvergeRep")]);
+    }
+
+    #[test]
+    fn full_convergence_from_one_fs_to_amr() {
+        // Only FS0 receives fragments + complete metadata; convergence
+        // alone must propagate fragments to FS1 and metadata to both
+        // KLSs, ending with the version AMR everywhere and no further
+        // pending work. This is naïve convergence doing a real repair.
+        let meta = full_meta(64);
+        let f = frags(64);
+        let fs0_node = NodeId::new(1);
+        let mut opts = ConvergenceOptions::naive();
+        opts.sibling_recovery = true; // exercise the recovery push path
+        opts.schedule = RoundSchedule::Unsynchronized;
+        let (mut sim, fs0, fs1, _) = tiny_world(
+            opts,
+            vec![
+                (
+                    fs0_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: meta.clone(),
+                        fragment: f[0].clone(),
+                    },
+                ),
+                (
+                    fs0_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta,
+                        fragment: f[1].clone(),
+                    },
+                ),
+            ],
+        );
+        // Give convergence a few rounds.
+        sim.run_until_time(SimTime::ZERO + SimDuration::from_secs(1200));
+        let a: &Fs = sim.actor(fs0);
+        let b: &Fs = sim.actor(fs1);
+        assert!(a.verified(ov()));
+        assert!(b.verified(ov()), "FS1's fragments were regenerated");
+        assert_eq!(a.pending_versions().count(), 0);
+        assert_eq!(b.pending_versions().count(), 0);
+        assert!(b.recoveries_done() + a.recoveries_done() >= 1);
+        let kls0: &Kls = sim.actor(NodeId::new(0));
+        let kls1: &Kls = sim.actor(NodeId::new(2));
+        assert!(kls0.has_complete_meta(ov()));
+        assert!(kls1.has_complete_meta(ov()));
+    }
+
+    #[test]
+    fn simultaneous_recoveries_resolve_by_server_id() {
+        // Both FSs hold complete metadata but each misses one of its two
+        // assigned fragments; with synchronized rounds both attempt
+        // sibling fragment recovery at the same instant. §4.2's rule —
+        // "an FS only backs off if its unique server id is lower than the
+        // other sibling FS's unique id" — must leave exactly one of them
+        // doing the work, and both end up whole.
+        let meta = full_meta(64);
+        let f = frags(64);
+        let fs0_node = NodeId::new(1); // assigned fragments 0, 1
+        let fs1_node = NodeId::new(3); // assigned fragments 2, 3
+        let mut opts = ConvergenceOptions::all();
+        opts.schedule = RoundSchedule::Synchronized;
+        opts.put_amr_indication = false;
+        opts.min_age = SimDuration::ZERO;
+        let (mut sim, fs0, fs1, _) = tiny_world(
+            opts,
+            vec![
+                (
+                    fs0_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: meta.clone(),
+                        fragment: f[0].clone(),
+                    },
+                ),
+                (
+                    fs1_node,
+                    Message::StoreFragment {
+                        ov: ov(),
+                        meta: meta.clone(),
+                        fragment: f[2].clone(),
+                    },
+                ),
+            ],
+        );
+        sim.run_until_time(SimTime::ZERO + SimDuration::from_secs(600));
+        let a: &Fs = sim.actor(fs0);
+        let b: &Fs = sim.actor(fs1);
+        assert!(a.verified(ov()), "fs0 has fragments 0 and 1");
+        assert!(b.verified(ov()), "fs1 has fragments 2 and 3");
+        // Exactly one FS performed the recovery; the contention rule
+        // favors the higher id (fs1).
+        assert_eq!(a.recoveries_done(), 0, "lower id backed off");
+        assert_eq!(b.recoveries_done(), 1, "higher id recovered for both");
+        // And the amortization shows on the wire: the recovered sibling
+        // fragment traveled via SiblingStoreReq.
+        assert!(sim.metrics().kind("SiblingStoreReq").count >= 1);
+    }
+
+    #[test]
+    fn retrieve_unknown_fragment_answers_bottom() {
+        let fs_node = NodeId::new(1);
+        let (mut sim, _, _, driver) = tiny_world(
+            ConvergenceOptions::all(),
+            vec![(
+                fs_node,
+                Message::RetrieveFrag {
+                    op: 1,
+                    ov: ov(),
+                    fragment: 0,
+                },
+            )],
+        );
+        sim.run_until_time(SimTime::from_micros(100_000));
+        let d: &Driver = sim.actor(driver);
+        assert_eq!(d.received, vec![(fs_node, "RetrieveFragRep")]);
+    }
+}

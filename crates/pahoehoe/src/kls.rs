@@ -1,0 +1,471 @@
+//! The Key Lookup Server (KLS).
+//!
+//! A KLS maintains two persistent stores (§3.2): a **timestamp store**
+//! mapping each key to its object versions, and a **metadata store**
+//! mapping each object version to its `(policy, locations)` metadata. It
+//! answers location-decision requests for *its own* data center, absorbs
+//! metadata stores from proxies, answers convergence probes from fragment
+//! servers, and serves the version list for gets.
+//!
+//! # Location decisions
+//!
+//! `which_locs` interprets the policy "to balance load and capacity across
+//! the FSs" (§3.2). We implement it as a *deterministic* rendezvous
+//! placement: the FSs of the data center are ranked by a hash of
+//! `(object version, fs)` and fragments are dealt round-robin across that
+//! ranking, at most `max_frags_per_fs` each. Every KLS in a DC therefore
+//! computes the identical decision for a given object version, which keeps
+//! per-DC location merging conflict-free (the paper's "too many locations"
+//! inefficiency, §3.5, cannot arise) while still spreading load uniformly
+//! across fragment servers over many objects.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use simnet::{Actor, Context, NodeId};
+
+use crate::messages::Message;
+use crate::metadata::{Location, Metadata};
+use crate::policy::Policy;
+use crate::topology::{DataCenterId, Topology};
+use crate::types::{Key, ObjectVersion, Timestamp};
+
+/// A key lookup server actor.
+pub struct Kls {
+    topo: Arc<Topology>,
+    my_dc: DataCenterId,
+    storets: BTreeMap<Key, BTreeSet<Timestamp>>,
+    storemeta: BTreeMap<ObjectVersion, Metadata>,
+}
+
+impl Kls {
+    /// Creates the KLS for data center `my_dc`.
+    pub fn new(topo: Arc<Topology>, my_dc: DataCenterId) -> Self {
+        Kls {
+            topo,
+            my_dc,
+            storets: BTreeMap::new(),
+            storemeta: BTreeMap::new(),
+        }
+    }
+
+    /// Deterministic, load-balanced fragment placement for one data
+    /// center: `frags_per_dc` locations over the DC's fragment servers,
+    /// at most `max_frags_per_fs` per server, ranked by rendezvous hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DC lacks capacity for the policy
+    /// (`fss * max_frags_per_fs < frags_per_dc`).
+    pub fn which_locs(
+        topo: &Topology,
+        dc: DataCenterId,
+        ov: ObjectVersion,
+        policy: &Policy,
+    ) -> Vec<Location> {
+        let fss = topo.fss_in(dc);
+        let capacity = fss.len() * policy.max_frags_per_fs as usize;
+        assert!(
+            capacity >= policy.frags_per_dc as usize,
+            "data center {dc} lacks capacity for {policy:?}"
+        );
+        let mut ranked: Vec<NodeId> = fss.to_vec();
+        ranked.sort_by_key(|fs| (Self::placement_hash(ov, *fs), *fs));
+        // Deal fragments round-robin across the ranking so the first k
+        // (data) fragments spread over distinct servers where possible.
+        let mut locs = Vec::with_capacity(policy.frags_per_dc as usize);
+        let mut round = 0u8;
+        'outer: loop {
+            for &fs in &ranked {
+                locs.push(Location { fs, disk: round });
+                if locs.len() == policy.frags_per_dc as usize {
+                    break 'outer;
+                }
+            }
+            round += 1;
+            debug_assert!(round < policy.max_frags_per_fs);
+        }
+        locs
+    }
+
+    fn placement_hash(ov: ObjectVersion, fs: NodeId) -> u64 {
+        let mut h = 0x9e37_79b9_7f4a_7c15u64;
+        for v in [
+            ov.key.as_u64(),
+            ov.ts.clock_micros(),
+            u64::from(ov.ts.proxy()),
+            fs.index() as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= h >> 31;
+        }
+        h
+    }
+
+    /// Merges `meta` into the metadata store and records the version in
+    /// the timestamp store. Returns whether anything new was learned.
+    fn absorb(&mut self, ov: ObjectVersion, meta: &Metadata) -> bool {
+        self.storets.entry(ov.key).or_default().insert(ov.ts);
+        match self.storemeta.get_mut(&ov) {
+            Some(existing) => existing.merge(meta),
+            None => {
+                self.storemeta.insert(ov, meta.clone());
+                true
+            }
+        }
+    }
+
+    // ---- state inspection (used by the harness and tests) ----
+
+    /// The stored metadata for `ov`, if any.
+    pub fn meta(&self, ov: ObjectVersion) -> Option<&Metadata> {
+        self.storemeta.get(&ov)
+    }
+
+    /// Whether this KLS stores *complete* metadata for `ov` (the per-KLS
+    /// half of the AMR condition).
+    pub fn has_complete_meta(&self, ov: ObjectVersion) -> bool {
+        self.storemeta.get(&ov).is_some_and(Metadata::is_complete)
+    }
+
+    /// Known timestamps for `key`, oldest first.
+    pub fn versions_of(&self, key: Key) -> Vec<Timestamp> {
+        self.storets
+            .get(&key)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Every object version this KLS knows about.
+    pub fn known_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
+        self.storemeta.keys().copied()
+    }
+}
+
+impl Actor<Message> for Kls {
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, msg: Message) {
+        match msg {
+            // Proxy location request: suggest locations for my DC; the
+            // decision is not persisted (the proxy will store chosen
+            // metadata explicitly, §3.2 pseudocode).
+            Message::DecideLocs {
+                ov,
+                policy,
+                home_dc: _,
+            } => {
+                let locations = Self::which_locs(&self.topo, self.my_dc, ov, &policy);
+                ctx.send(
+                    from,
+                    Message::DecideLocsReply {
+                        ov,
+                        dc: self.my_dc,
+                        locations,
+                    },
+                );
+            }
+
+            // FS location request during a convergence step. Unlike the
+            // proxy path, the KLS persists the decision before replying
+            // and pushes it to the sibling FSs (§3.5), so concurrent
+            // repairs cannot fan out into divergent decisions.
+            Message::FsDecideLocs { ov, meta } => {
+                let already_known = self
+                    .storemeta
+                    .get(&ov)
+                    .is_some_and(|m| m.has_dc(self.my_dc));
+                // Learn everything the FS knows (including the true value
+                // length), then decide locations for my DC if nobody has.
+                self.absorb(ov, &meta);
+                let locations = match self.storemeta.get(&ov) {
+                    Some(m) if m.has_dc(self.my_dc) => {
+                        m.dc_locations(self.my_dc).expect("checked has_dc").to_vec()
+                    }
+                    _ => Self::which_locs(&self.topo, self.my_dc, ov, meta.policy()),
+                };
+                let mut fresh = meta.clone();
+                fresh.add_dc_locations(self.my_dc, locations.clone());
+                let newly_decided = !already_known && self.absorb(ov, &fresh);
+                ctx.send(
+                    from,
+                    Message::DecideLocsReply {
+                        ov,
+                        dc: self.my_dc,
+                        locations,
+                    },
+                );
+                // Indicate a *fresh* decision to the sibling FSs so they
+                // learn the locations without probing themselves.
+                if newly_decided {
+                    let meta = self.storemeta[&ov].clone();
+                    for fs in meta.sibling_fss() {
+                        if fs != from {
+                            ctx.send(
+                                fs,
+                                Message::LocsIndication {
+                                    ov,
+                                    meta: meta.clone(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+
+            Message::StoreMetadata { ov, meta } => {
+                self.absorb(ov, &meta);
+                let complete = self.has_complete_meta(ov);
+                ctx.send(from, Message::StoreMetadataReply { ov, complete });
+            }
+
+            Message::ConvergeKls { ov, meta } => {
+                self.absorb(ov, &meta);
+                let verified = self.has_complete_meta(ov);
+                ctx.send(from, Message::ConvergeKlsReply { ov, verified });
+            }
+
+            Message::RetrieveTs {
+                op,
+                key,
+                limit,
+                older_than,
+            } => {
+                // Page newest-first, strictly older than the cursor.
+                let mut all = self.versions_of(key);
+                all.reverse(); // newest first
+                let page: Vec<Timestamp> = all
+                    .into_iter()
+                    .filter(|ts| older_than.is_none_or(|cur| *ts < cur))
+                    .collect();
+                let more = page.len() > usize::from(limit);
+                let versions: Vec<(Timestamp, Metadata)> = page
+                    .into_iter()
+                    .take(usize::from(limit))
+                    .filter_map(|ts| {
+                        let ov = ObjectVersion::new(key, ts);
+                        self.storemeta.get(&ov).map(|m| (ts, m.clone()))
+                    })
+                    .collect();
+                ctx.send(
+                    from,
+                    Message::RetrieveTsReply {
+                        op,
+                        key,
+                        versions,
+                        more,
+                    },
+                );
+            }
+
+            other => {
+                debug_assert!(false, "KLS received unexpected message {:?}", other);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Message>, _tag: u64) {
+        // KLSs are purely reactive.
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    fn topo() -> Arc<Topology> {
+        Topology::new(vec![
+            (
+                vec![NodeId::new(0), NodeId::new(1)],
+                vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)],
+            ),
+            (
+                vec![NodeId::new(5), NodeId::new(6)],
+                vec![NodeId::new(7), NodeId::new(8), NodeId::new(9)],
+            ),
+        ])
+    }
+
+    fn ov(n: u64) -> ObjectVersion {
+        ObjectVersion::new(Key::from_u64(n), Timestamp::new(SimTime::from_micros(n), 0))
+    }
+
+    #[test]
+    fn which_locs_respects_policy_shape() {
+        let t = topo();
+        let p = Policy::paper_default();
+        let locs = Kls::which_locs(&t, DataCenterId::new(0), ov(1), &p);
+        assert_eq!(locs.len(), 6);
+        // Every FS belongs to DC0 and hosts exactly two fragments.
+        let mut per_fs: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for l in &locs {
+            assert!(t.fss_in(DataCenterId::new(0)).contains(&l.fs));
+            *per_fs.entry(l.fs).or_default() += 1;
+        }
+        assert!(per_fs.values().all(|&c| c == 2));
+        // Disks distinguish collocated fragments.
+        let mut pairs: Vec<(NodeId, u8)> = locs.iter().map(|l| (l.fs, l.disk)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 6, "(fs, disk) pairs are distinct");
+    }
+
+    #[test]
+    fn which_locs_is_deterministic_and_balanced() {
+        let t = topo();
+        let p = Policy::paper_default();
+        let a = Kls::which_locs(&t, DataCenterId::new(0), ov(7), &p);
+        let b = Kls::which_locs(&t, DataCenterId::new(0), ov(7), &p);
+        assert_eq!(a, b, "same decision everywhere");
+
+        // Across many object versions, first-slot placement spreads.
+        let mut first_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for i in 0..300 {
+            let locs = Kls::which_locs(&t, DataCenterId::new(0), ov(i), &p);
+            *first_counts.entry(locs[0].fs).or_default() += 1;
+        }
+        assert_eq!(first_counts.len(), 3, "every FS leads sometimes");
+        for (&fs, &c) in &first_counts {
+            assert!((50..=150).contains(&c), "placement skew on {fs}: {c}/300");
+        }
+    }
+
+    #[test]
+    fn which_locs_interleaves_data_fragments() {
+        // The first k=4 fragments (data) land on 3 distinct servers, not
+        // two fragments each on two servers.
+        let t = topo();
+        let p = Policy::paper_default();
+        let locs = Kls::which_locs(&t, DataCenterId::new(0), ov(3), &p);
+        let first_three: BTreeSet<NodeId> = locs[..3].iter().map(|l| l.fs).collect();
+        assert_eq!(first_three.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks capacity")]
+    fn undersized_dc_panics() {
+        let small = Topology::new(vec![(
+            vec![NodeId::new(0)],
+            vec![NodeId::new(1), NodeId::new(2)],
+        )]);
+        let p = Policy::paper_default(); // needs 6 per DC, capacity 4
+        let _ = Kls::which_locs(&small, DataCenterId::new(0), ov(0), &p);
+    }
+
+    #[test]
+    fn retrieve_ts_pages_newest_first() {
+        use crate::testutil::Driver;
+        use simnet::Simulation;
+
+        let t = topo();
+        let p = Policy::paper_default();
+        let kls_node = NodeId::new(0);
+
+        // Build a KLS with five versions of one key, then page with
+        // limit 2 through a driver.
+        let key = Key::from_u64(42);
+        let ts = |i: u64| Timestamp::new(SimTime::from_micros(i * 1000), 0);
+        let mut seed_kls = Kls::new(t.clone(), DataCenterId::new(0));
+        for i in 1..=5 {
+            let v = ObjectVersion::new(key, ts(i));
+            let mut meta = Metadata::new(p, DataCenterId::new(0), 10);
+            meta.add_dc_locations(
+                DataCenterId::new(0),
+                Kls::which_locs(&t, DataCenterId::new(0), v, &p),
+            );
+            seed_kls.absorb(v, &meta);
+        }
+
+        let mut sim = Simulation::new(1);
+        let added = sim.add_actor(seed_kls);
+        assert_eq!(added, kls_node);
+        let driver = sim.add_actor(Driver::new(vec![
+            (
+                kls_node,
+                Message::RetrieveTs {
+                    op: 1,
+                    key,
+                    limit: 2,
+                    older_than: None,
+                },
+            ),
+            (
+                kls_node,
+                Message::RetrieveTs {
+                    op: 2,
+                    key,
+                    limit: 2,
+                    older_than: Some(ts(4)),
+                },
+            ),
+            (
+                kls_node,
+                Message::RetrieveTs {
+                    op: 3,
+                    key,
+                    limit: 10,
+                    older_than: Some(ts(2)),
+                },
+            ),
+        ]));
+        sim.run_until_quiescent();
+
+        let d: &Driver = sim.actor(driver);
+        assert_eq!(d.received.len(), 3);
+        let page = |op_want: u64| {
+            d.received
+                .iter()
+                .find_map(|(_, m)| match m {
+                    Message::RetrieveTsReply {
+                        op, versions, more, ..
+                    } if *op == op_want => Some((
+                        versions.iter().map(|(ts, _)| *ts).collect::<Vec<_>>(),
+                        *more,
+                    )),
+                    _ => None,
+                })
+                .expect("reply present")
+        };
+        // Page 1: newest two, more pending.
+        assert_eq!(page(1), (vec![ts(5), ts(4)], true));
+        // Cursor at ts(4): next two older.
+        assert_eq!(page(2), (vec![ts(3), ts(2)], true));
+        // Cursor at ts(2), big limit: the final version, exhausted.
+        assert_eq!(page(3), (vec![ts(1)], false));
+    }
+
+    #[test]
+    fn absorb_accumulates_versions_and_merges() {
+        let t = topo();
+        let mut kls = Kls::new(t.clone(), DataCenterId::new(0));
+        let p = Policy::paper_default();
+        let v = ov(1);
+
+        let mut partial = Metadata::new(p, DataCenterId::new(0), 9);
+        partial.add_dc_locations(
+            DataCenterId::new(0),
+            Kls::which_locs(&t, DataCenterId::new(0), v, &p),
+        );
+        assert!(kls.absorb(v, &partial));
+        assert!(!kls.has_complete_meta(v));
+        assert_eq!(kls.versions_of(v.key), vec![v.ts]);
+
+        let mut rest = partial.clone();
+        rest.add_dc_locations(
+            DataCenterId::new(1),
+            Kls::which_locs(&t, DataCenterId::new(1), v, &p),
+        );
+        assert!(kls.absorb(v, &rest));
+        assert!(kls.has_complete_meta(v));
+        assert!(!kls.absorb(v, &rest), "idempotent");
+        assert_eq!(kls.known_versions().count(), 1);
+    }
+}

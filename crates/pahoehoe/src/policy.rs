@@ -1,0 +1,196 @@
+//! Durability policies.
+
+use std::fmt;
+
+/// A durability policy attached to each put (§2 of the paper).
+///
+/// The default policy is a `(k = 4, n = 12)` erasure code with up to two
+/// fragments per fragment server, six fragments per data center, and all
+/// four data fragments in the same (home) data center. It has the storage
+/// overhead of triple replication but tolerates up to eight simultaneous
+/// disk failures, or a WAN partition combined with two disk failures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Policy {
+    /// Data fragments (`k`): any `k` fragments recover the value.
+    pub k: u8,
+    /// Total fragments (`n = k + m`).
+    pub n: u8,
+    /// Maximum sibling fragments collocated on one fragment server.
+    pub max_frags_per_fs: u8,
+    /// Fragments placed in each data center.
+    pub frags_per_dc: u8,
+    /// Number of distinct successfully stored fragments at which the proxy
+    /// may report success to the client ("enough, specified by the
+    /// policy", §3.2). The paper does not pin the default numerically, but
+    /// its availability goal — "even if a proxy can only reach a minority
+    /// of KLSs and FSs, a put … may complete successfully" — and the FS-
+    /// failure experiments (§5.3, where four of six FSs are unreachable
+    /// yet the 100-put workload completes) require the minimum durable
+    /// set, so the default is `k`: the value is recoverable, and
+    /// convergence will restore full redundancy. Experiments can raise it.
+    pub put_success_threshold: u8,
+}
+
+impl Policy {
+    /// The paper's default policy: `(4, 12)`, ≤2 per FS, 6 per DC.
+    pub fn paper_default() -> Self {
+        Policy {
+            k: 4,
+            n: 12,
+            max_frags_per_fs: 2,
+            frags_per_dc: 6,
+            put_success_threshold: 4,
+        }
+    }
+
+    /// Creates a policy for a cluster with `dcs` data centers, spreading
+    /// fragments evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is inconsistent (see [`Policy::validate`]).
+    pub fn new(k: u8, n: u8, dcs: u8, max_frags_per_fs: u8) -> Self {
+        assert!(
+            dcs > 0 && n.is_multiple_of(dcs),
+            "n must divide evenly across DCs"
+        );
+        let frags_per_dc = n / dcs;
+        let p = Policy {
+            k,
+            n,
+            max_frags_per_fs,
+            frags_per_dc,
+            put_success_threshold: k,
+        };
+        p.validate();
+        p
+    }
+
+    /// Number of parity fragments (`m = n - k`).
+    pub fn parity(&self) -> u8 {
+        self.n - self.k
+    }
+
+    /// Number of data centers the policy spreads across.
+    pub fn data_centers(&self) -> u8 {
+        self.n / self.frags_per_dc
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`, `k > n`, the per-DC count does not divide `n`,
+    /// the success threshold is not within `[k, n]`, or the data fragments
+    /// do not fit in one data center (the paper's default policy keeps all
+    /// `k` data fragments in the home DC).
+    pub fn validate(&self) {
+        assert!(self.k > 0 && self.k <= self.n, "need 0 < k <= n");
+        assert!(
+            self.frags_per_dc > 0 && self.n.is_multiple_of(self.frags_per_dc),
+            "fragments must divide evenly across data centers"
+        );
+        assert!(
+            self.k <= self.frags_per_dc,
+            "data fragments must fit in the home data center"
+        );
+        assert!(
+            self.put_success_threshold >= self.k && self.put_success_threshold <= self.n,
+            "success threshold must lie in [k, n]"
+        );
+        assert!(
+            self.max_frags_per_fs > 0,
+            "need at least one fragment per FS"
+        );
+    }
+
+    /// Fragment indices assigned to data center slot `dc_slot`
+    /// (0 = the home DC holding the data fragments).
+    ///
+    /// Slot `s` covers indices `s * frags_per_dc .. (s+1) * frags_per_dc`.
+    pub fn fragment_range(&self, dc_slot: u8) -> std::ops::Range<u8> {
+        let base = dc_slot * self.frags_per_dc;
+        base..base + self.frags_per_dc
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::paper_default()
+    }
+}
+
+impl fmt::Debug for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Policy(k={}, n={}, {}per_fs, {}per_dc, ok@{})",
+            self.k, self.n, self.max_frags_per_fs, self.frags_per_dc, self.put_success_threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let p = Policy::paper_default();
+        p.validate();
+        assert_eq!(p.k, 4);
+        assert_eq!(p.n, 12);
+        assert_eq!(p.parity(), 8);
+        assert_eq!(p.data_centers(), 2);
+        assert_eq!(
+            p.put_success_threshold, p.k,
+            "puts succeed once the value is durably recoverable"
+        );
+    }
+
+    #[test]
+    fn fragment_ranges_partition_the_code_word() {
+        let p = Policy::paper_default();
+        assert_eq!(p.fragment_range(0), 0..6);
+        assert_eq!(p.fragment_range(1), 6..12);
+        // Data fragments 0..4 are inside the home DC's range.
+        assert!(p.fragment_range(0).contains(&(p.k - 1)));
+    }
+
+    #[test]
+    fn constructor_derives_threshold() {
+        let p = Policy::new(2, 6, 2, 2);
+        assert_eq!(p.frags_per_dc, 3);
+        assert_eq!(p.put_success_threshold, 2);
+        assert_eq!(p.data_centers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_dc_split_panics() {
+        let _ = Policy::new(2, 7, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "data fragments must fit")]
+    fn data_fragments_must_fit_home_dc() {
+        Policy {
+            k: 4,
+            n: 12,
+            max_frags_per_fs: 2,
+            frags_per_dc: 3,
+            put_success_threshold: 8,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "success threshold")]
+    fn threshold_below_k_panics() {
+        Policy {
+            put_success_threshold: 3,
+            ..Policy::paper_default()
+        }
+        .validate();
+    }
+}

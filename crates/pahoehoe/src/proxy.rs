@@ -1,0 +1,894 @@
+//! The proxy: executes put and get operations on behalf of a client.
+//!
+//! Implements the optimized two-round protocols of Figures 2 and 3 of the
+//! paper:
+//!
+//! * **Put** — ask every KLS for locations; *as soon as* any data center's
+//!   locations are decided (first KLS answer per DC wins), stream the
+//!   current metadata to all KLSs and the DC's sibling fragments to its
+//!   FSs; report success to the client once the policy's threshold of
+//!   distinct fragments is durably stored; if *everything* is acknowledged,
+//!   optionally broadcast Put-AMR indications (§4.1).
+//! * **Get** — ask every KLS for all versions-with-metadata; start
+//!   retrieving the newest version as soon as the first KLS answers;
+//!   decode once any `k` sibling fragments arrive; fall back to an earlier
+//!   version only when safe (`can_try_earlier`: some KLS lacked complete
+//!   metadata for the current version, or some FS answered ⊥ — either
+//!   proves the version is not AMR); abort on timeout.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use erasure::{Codec, Fragment, FragmentIndex};
+use simnet::{Actor, Context, NodeId, SimDuration, TimerId};
+
+use crate::messages::{Message, OpId};
+use crate::metadata::Metadata;
+use crate::topology::{DataCenterId, Topology};
+use crate::types::{Key, ObjectVersion, Timestamp};
+
+const TAG_PUT: u64 = 1 << 56;
+const TAG_GET: u64 = 2 << 56;
+const TAG_GET_ATTEMPT: u64 = 3 << 56;
+const TAG_MASK: u64 = 0xff << 56;
+
+/// Proxy tunables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyConfig {
+    /// Give up collecting put acknowledgments after this long; if the
+    /// success threshold was not reached by then, the client gets the
+    /// paper's "unknown" (failure) answer.
+    pub put_timeout: SimDuration,
+    /// Abort a get after this long.
+    pub get_timeout: SimDuration,
+    /// Per-version patience during a get: after this long without
+    /// decoding, the proxy stops waiting for stragglers and — only if it
+    /// holds proof the version is not AMR — falls back to an earlier
+    /// version (otherwise the get aborts at `get_timeout`).
+    pub get_attempt_timeout: SimDuration,
+    /// Versions per timestamp-retrieval page (§3.5: the proxy
+    /// "iteratively retrieves timestamps … instead of retrieving
+    /// information about all object versions at once").
+    pub ts_page_size: u16,
+    /// Offset added to the simulation clock when minting timestamps,
+    /// modeling the "loosely synchronized" NTP clock of §3.1.
+    pub clock_skew: SimDuration,
+    /// Whether to broadcast AMR indications after fully acknowledged puts
+    /// (the Put-AMR optimization; mirrors
+    /// [`ConvergenceOptions::put_amr_indication`](crate::ConvergenceOptions)).
+    pub put_amr_indication: bool,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            put_timeout: SimDuration::from_secs(3),
+            get_timeout: SimDuration::from_secs(5),
+            get_attempt_timeout: SimDuration::from_secs(1),
+            ts_page_size: 8,
+            clock_skew: SimDuration::ZERO,
+            put_amr_indication: true,
+        }
+    }
+}
+
+/// State of one in-flight put.
+struct PutOp {
+    client: NodeId,
+    client_op: OpId,
+    meta: Metadata,
+    fragments: Vec<Fragment>,
+    /// KLSs that acknowledged *complete* metadata.
+    kls_complete: BTreeSet<NodeId>,
+    /// `(fs, fragment)` pairs durably acknowledged.
+    frag_acks: BTreeSet<(NodeId, FragmentIndex)>,
+    /// Distinct fragment indices durably stored (threshold check).
+    distinct_frags: BTreeSet<FragmentIndex>,
+    replied: bool,
+    timer: TimerId,
+}
+
+/// What one KLS has told us during a get (timestamps arrive in
+/// newest-first pages, §3.5).
+#[derive(Default)]
+struct KlsView {
+    /// Timestamps this KLS has reported so far.
+    reported: BTreeSet<Timestamp>,
+    /// Oldest timestamp reported (pagination cursor).
+    oldest: Option<Timestamp>,
+    /// The KLS said no older versions remain.
+    exhausted: bool,
+    /// A page request is in flight.
+    awaiting: bool,
+}
+
+impl KlsView {
+    /// Pages are newest-first and contiguous, so a version newer than the
+    /// oldest reported timestamp that this KLS did *not* report is
+    /// provably absent from it — evidence the version is not AMR.
+    fn provably_missing(&self, ts: Timestamp) -> bool {
+        if self.reported.contains(&ts) {
+            return false;
+        }
+        self.exhausted || self.oldest.is_some_and(|o| ts > o)
+    }
+}
+
+/// State of one in-flight get.
+struct GetOp {
+    client: NodeId,
+    key: Key,
+    /// Versions not yet attempted.
+    untried: BTreeSet<Timestamp>,
+    /// Versions already attempted (pages may re-deliver them).
+    tried: BTreeSet<Timestamp>,
+    /// Merged per-version metadata from KLS answers.
+    kls_meta: BTreeMap<Timestamp, Metadata>,
+    /// Versions some KLS reported with *incomplete* metadata (non-AMR
+    /// evidence).
+    kls_incomplete: BTreeSet<Timestamp>,
+    /// Per-KLS pagination state.
+    views: BTreeMap<NodeId, KlsView>,
+    current: Option<GetAttempt>,
+    timer: TimerId,
+}
+
+struct GetAttempt {
+    ts: Timestamp,
+    meta: Metadata,
+    fragments: BTreeMap<FragmentIndex, Fragment>,
+    /// Whether any FS answered ⊥ for this version.
+    saw_bottom: bool,
+    /// Fragment requests sent.
+    requested: usize,
+    /// Replies received (fragments and ⊥ alike).
+    responses: usize,
+    /// Straggler patience; after it fires the attempt no longer waits.
+    timer: TimerId,
+    timed_out: bool,
+}
+
+/// A proxy server actor.
+pub struct Proxy {
+    topo: Arc<Topology>,
+    my_dc: DataCenterId,
+    /// Unique proxy identifier, the timestamp tie-breaker.
+    uid: u32,
+    cfg: ProxyConfig,
+    puts: BTreeMap<ObjectVersion, PutOp>,
+    /// Timer-tag → object version for put timeouts.
+    put_seq: BTreeMap<u64, ObjectVersion>,
+    next_seq: u64,
+    gets: BTreeMap<OpId, GetOp>,
+    codecs: BTreeMap<(u8, u8), Codec>,
+    /// Client operations already accepted, for idempotence under the
+    /// duplicating channel of §3.1 (a duplicated `ClientPut` must not
+    /// spawn a second put).
+    seen_client_ops: BTreeSet<(NodeId, OpId)>,
+    /// Completed puts for which the proxy verified full redundancy (used
+    /// by tests; equals the number of Put-AMR indications broadcast when
+    /// the optimization is on).
+    puts_fully_acked: u64,
+}
+
+impl Proxy {
+    /// Creates a proxy in `my_dc` with unique id `uid`.
+    pub fn new(topo: Arc<Topology>, my_dc: DataCenterId, uid: u32, cfg: ProxyConfig) -> Self {
+        Proxy {
+            topo,
+            my_dc,
+            uid,
+            cfg,
+            puts: BTreeMap::new(),
+            put_seq: BTreeMap::new(),
+            next_seq: 0,
+            gets: BTreeMap::new(),
+            codecs: BTreeMap::new(),
+            seen_client_ops: BTreeSet::new(),
+            puts_fully_acked: 0,
+        }
+    }
+
+    /// Puts this proxy verified as fully redundant.
+    pub fn puts_fully_acked(&self) -> u64 {
+        self.puts_fully_acked
+    }
+
+    fn codec(&mut self, k: u8, n: u8) -> &Codec {
+        self.codecs.entry((k, n)).or_insert_with(|| {
+            Codec::new(usize::from(k), usize::from(n)).expect("policy validated")
+        })
+    }
+
+    // ---- put ----
+
+    fn start_put(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        client: NodeId,
+        client_op: OpId,
+        key: Key,
+        value: Bytes,
+        policy: crate::policy::Policy,
+    ) {
+        policy.validate();
+        let ts = Timestamp::new(ctx.now().saturating_add(self.cfg.clock_skew), self.uid);
+        let ov = ObjectVersion::new(key, ts);
+        let fragments = self.codec(policy.k, policy.n).encode(&value);
+        let meta = Metadata::new(policy, self.my_dc, value.len());
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let timer = ctx.schedule_timer(self.cfg.put_timeout, TAG_PUT | seq);
+        self.put_seq.insert(seq, ov);
+        self.puts.insert(
+            ov,
+            PutOp {
+                client,
+                client_op,
+                meta,
+                fragments,
+                kls_complete: BTreeSet::new(),
+                frag_acks: BTreeSet::new(),
+                distinct_frags: BTreeSet::new(),
+                replied: false,
+                timer,
+            },
+        );
+
+        let klss: Vec<NodeId> = self.topo.all_klss().collect();
+        for kls in klss {
+            ctx.send(
+                kls,
+                Message::DecideLocs {
+                    ov,
+                    policy,
+                    home_dc: self.my_dc,
+                },
+            );
+        }
+    }
+
+    fn on_locations_decided(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        ov: ObjectVersion,
+        dc: DataCenterId,
+        locations: Vec<crate::metadata::Location>,
+    ) {
+        let Some(op) = self.puts.get_mut(&ov) else {
+            return;
+        };
+        // `useful_locs`: only the first decision per data center counts.
+        if !op.meta.add_dc_locations(dc, locations) {
+            return;
+        }
+        let meta = op.meta.clone();
+        // Forward the (possibly still partial) metadata to every KLS
+        // immediately — the paper's first latency optimization — and to
+        // the FSs of previously decided data centers, whose stored
+        // metadata snapshot is now stale. These repeated per-wave updates
+        // are the paper's "two sets of location messages and two location
+        // updates instead of one" that keep the optimized put above the
+        // idealized minimum (§5.2). Fragments themselves are sent exactly
+        // once per location.
+        let klss: Vec<NodeId> = self.topo.all_klss().collect();
+        for kls in klss {
+            ctx.send(
+                kls,
+                Message::StoreMetadata {
+                    ov,
+                    meta: meta.clone(),
+                },
+            );
+        }
+        let stale_fss: BTreeSet<NodeId> = meta
+            .assignments()
+            .filter(|(idx, _)| meta.dc_of_fragment(*idx) != dc)
+            .map(|(_, loc)| loc.fs)
+            .collect();
+        for fs in stale_fss {
+            ctx.send(
+                fs,
+                Message::StoreMetadata {
+                    ov,
+                    meta: meta.clone(),
+                },
+            );
+        }
+        // Send this data center's sibling fragments to its FSs.
+        let sends: Vec<(NodeId, Fragment)> = meta
+            .assignments()
+            .filter(|(idx, _)| meta.dc_of_fragment(*idx) == dc)
+            .map(|(idx, loc)| (loc.fs, self.puts[&ov].fragments[idx as usize].clone()))
+            .collect();
+        for (fs, fragment) in sends {
+            ctx.send(
+                fs,
+                Message::StoreFragment {
+                    ov,
+                    meta: meta.clone(),
+                    fragment,
+                },
+            );
+        }
+    }
+
+    fn on_put_progress(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+        let Some(op) = self.puts.get_mut(&ov) else {
+            return;
+        };
+        // Early success: enough distinct fragments durably stored.
+        if !op.replied
+            && op.distinct_frags.len() >= usize::from(op.meta.policy().put_success_threshold)
+        {
+            op.replied = true;
+            let (client, client_op) = (op.client, op.client_op);
+            ctx.send(
+                client,
+                Message::ClientPutReply {
+                    op: client_op,
+                    ov,
+                    success: true,
+                },
+            );
+        }
+        // Full acknowledgment: every KLS holds complete metadata and every
+        // assigned fragment is durably stored -> the proxy knows the
+        // version is AMR.
+        let op = &self.puts[&ov];
+        if !op.meta.is_complete() {
+            return;
+        }
+        let all_kls: BTreeSet<NodeId> = self.topo.all_klss().collect();
+        let all_assigned: BTreeSet<(NodeId, FragmentIndex)> = op
+            .meta
+            .assignments()
+            .map(|(idx, loc)| (loc.fs, idx))
+            .collect();
+        if op.kls_complete.is_superset(&all_kls) && all_assigned.is_subset(&op.frag_acks) {
+            self.puts_fully_acked += 1;
+            let meta = op.meta.clone();
+            if self.cfg.put_amr_indication {
+                for fs in meta.sibling_fss() {
+                    ctx.send(
+                        fs,
+                        Message::AmrIndication {
+                            ov,
+                            meta: meta.clone(),
+                        },
+                    );
+                }
+            }
+            self.finish_put(ctx, ov, true);
+        }
+    }
+
+    fn finish_put(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        ov: ObjectVersion,
+        success_if_unreplied: bool,
+    ) {
+        let Some(op) = self.puts.remove(&ov) else {
+            return;
+        };
+        ctx.cancel_timer(op.timer);
+        self.put_seq.retain(|_, v| *v != ov);
+        if !op.replied {
+            ctx.send(
+                op.client,
+                Message::ClientPutReply {
+                    op: op.client_op,
+                    ov,
+                    success: success_if_unreplied,
+                },
+            );
+        }
+    }
+
+    // ---- get ----
+
+    fn start_get(&mut self, ctx: &mut Context<'_, Message>, client: NodeId, op: OpId, key: Key) {
+        let timer = ctx.schedule_timer(self.cfg.get_timeout, TAG_GET | op);
+        let mut views = BTreeMap::new();
+        for kls in self.topo.all_klss() {
+            views.insert(
+                kls,
+                KlsView {
+                    awaiting: true,
+                    ..KlsView::default()
+                },
+            );
+        }
+        self.gets.insert(
+            op,
+            GetOp {
+                client,
+                key,
+                untried: BTreeSet::new(),
+                tried: BTreeSet::new(),
+                kls_meta: BTreeMap::new(),
+                kls_incomplete: BTreeSet::new(),
+                views,
+                current: None,
+                timer,
+            },
+        );
+        let limit = self.cfg.ts_page_size;
+        let klss: Vec<NodeId> = self.topo.all_klss().collect();
+        for kls in klss {
+            ctx.send(
+                kls,
+                Message::RetrieveTs {
+                    op,
+                    key,
+                    limit,
+                    older_than: None,
+                },
+            );
+        }
+    }
+
+    fn on_retrieve_ts_reply(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        op: OpId,
+        from: NodeId,
+        versions: Vec<(Timestamp, Metadata)>,
+        more: bool,
+    ) {
+        let Some(get) = self.gets.get_mut(&op) else {
+            return;
+        };
+        {
+            let view = get.views.entry(from).or_default();
+            view.awaiting = false;
+            view.exhausted |= !more;
+            for (ts, _) in &versions {
+                view.reported.insert(*ts);
+                view.oldest = Some(match view.oldest {
+                    Some(o) if o < *ts => o,
+                    _ => *ts,
+                });
+            }
+        }
+        for (ts, meta) in versions {
+            if !meta.is_complete() {
+                get.kls_incomplete.insert(ts);
+            }
+            match get.kls_meta.get_mut(&ts) {
+                Some(m) => {
+                    m.merge(&meta);
+                }
+                None => {
+                    get.kls_meta.insert(ts, meta);
+                    let in_current = get.current.as_ref().is_some_and(|c| c.ts == ts);
+                    if !in_current && !get.tried.contains(&ts) {
+                        get.untried.insert(ts);
+                    }
+                }
+            }
+        }
+        if get.current.is_none() {
+            self.next_ts(ctx, op);
+        } else {
+            // New evidence may unblock the current attempt.
+            self.maybe_advance(ctx, op);
+        }
+    }
+
+    /// Non-AMR evidence for `ts` from the KLS side: some KLS reported it
+    /// with incomplete metadata, or some KLS provably does not store it.
+    fn kls_evidence(get: &GetOp, ts: Timestamp) -> bool {
+        get.kls_incomplete.contains(&ts) || get.views.values().any(|v| v.provably_missing(ts))
+    }
+
+    /// The paper's `next_ts`: move to the newest untried version, or
+    /// finish with failure once every KLS has answered and nothing is
+    /// left to try.
+    fn next_ts(&mut self, ctx: &mut Context<'_, Message>, op: OpId) {
+        let attempt_timeout = self.cfg.get_attempt_timeout;
+        let Some(get) = self.gets.get_mut(&op) else {
+            return;
+        };
+        if let Some(old) = get.current.take() {
+            ctx.cancel_timer(old.timer);
+        }
+        match get.untried.iter().next_back().copied() {
+            Some(ts) => {
+                get.untried.remove(&ts);
+                get.tried.insert(ts);
+                let meta = get.kls_meta[&ts].clone();
+                let ov = ObjectVersion::new(get.key, ts);
+                let requests: Vec<(NodeId, FragmentIndex)> =
+                    meta.assignments().map(|(idx, loc)| (loc.fs, idx)).collect();
+                let timer = ctx.schedule_timer(attempt_timeout, TAG_GET_ATTEMPT | op);
+                let no_locations = requests.is_empty();
+                get.current = Some(GetAttempt {
+                    ts,
+                    meta,
+                    fragments: BTreeMap::new(),
+                    // A version with no locations at all is provably not
+                    // AMR and immediately hopeless.
+                    saw_bottom: no_locations,
+                    requested: requests.len(),
+                    responses: 0,
+                    timer,
+                    timed_out: false,
+                });
+                if no_locations {
+                    self.maybe_advance(ctx, op);
+                    return;
+                }
+                for (fs, idx) in requests {
+                    ctx.send(
+                        fs,
+                        Message::RetrieveFrag {
+                            op,
+                            ov,
+                            fragment: idx,
+                        },
+                    );
+                }
+            }
+            None => {
+                // Nothing left from the pages so far: fetch the next page
+                // from every KLS that may hold older versions, or fail
+                // once every KLS is exhausted.
+                let key = get.key;
+                let limit = self.cfg.ts_page_size;
+                let mut requests = Vec::new();
+                let mut all_exhausted = true;
+                for (&kls, view) in get.views.iter_mut() {
+                    if view.exhausted {
+                        continue;
+                    }
+                    all_exhausted = false;
+                    if !view.awaiting {
+                        view.awaiting = true;
+                        requests.push((kls, view.oldest));
+                    }
+                }
+                if all_exhausted {
+                    self.finish_get(ctx, op, None);
+                    return;
+                }
+                for (kls, older_than) in requests {
+                    ctx.send(
+                        kls,
+                        Message::RetrieveTs {
+                            op,
+                            key,
+                            limit,
+                            older_than,
+                        },
+                    );
+                }
+                // else: wait for pages or the get timeout.
+            }
+        }
+    }
+
+    fn on_retrieve_frag_reply(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        op: OpId,
+        ov: ObjectVersion,
+        data: Option<Fragment>,
+    ) {
+        let Some(get) = self.gets.get_mut(&op) else {
+            return;
+        };
+        let Some(current) = get.current.as_mut() else {
+            return;
+        };
+        if current.ts != ov.ts {
+            return; // stale reply from an abandoned attempt
+        }
+        current.responses += 1;
+        match data {
+            Some(frag) => {
+                current.fragments.insert(frag.index(), frag);
+            }
+            None => current.saw_bottom = true,
+        }
+        // can_decode?
+        let k = usize::from(current.meta.policy().k);
+        if current.fragments.len() >= k {
+            let frags: Vec<Fragment> = current.fragments.values().cloned().collect();
+            let value_len = current.meta.value_len();
+            let policy = *current.meta.policy();
+            let value = self
+                .codec(policy.k, policy.n)
+                .decode(&frags, value_len)
+                .expect("k verified fragments decode");
+            self.finish_get(ctx, op, Some((ov, Bytes::from(value))));
+            return;
+        }
+        self.maybe_advance(ctx, op);
+    }
+
+    /// `can_try_earlier` with patience. The *safety* half is the paper's:
+    /// the current version may be abandoned only with proof it is not AMR
+    /// (incomplete KLS metadata or a ⊥ fragment — the latest AMR version
+    /// never produces either, so it is never skipped). The *liveness*
+    /// half keeps the proxy from abandoning a decodable version while
+    /// replies are still in flight: it moves on only once the attempt is
+    /// hopeless — even if every outstanding request answered with a
+    /// fragment it could not reach `k` — or the per-attempt patience
+    /// expired.
+    fn maybe_advance(&mut self, ctx: &mut Context<'_, Message>, op: OpId) {
+        let Some(get) = self.gets.get(&op) else {
+            return;
+        };
+        let Some(current) = get.current.as_ref() else {
+            return;
+        };
+        let not_amr = current.saw_bottom
+            || Self::kls_evidence(get, current.ts)
+            || !current.meta.is_complete();
+        let outstanding = current.requested - current.responses;
+        let k = usize::from(current.meta.policy().k);
+        let hopeless = current.fragments.len() + outstanding < k || current.timed_out;
+        if not_amr && hopeless {
+            self.next_ts(ctx, op);
+        } else if !not_amr && current.timed_out {
+            // Cannot safely try an earlier version and the current one is
+            // not answering: the get aborts (§3.5).
+            self.finish_get(ctx, op, None);
+        }
+    }
+
+    fn finish_get(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        op: OpId,
+        result: Option<(ObjectVersion, Bytes)>,
+    ) {
+        let Some(get) = self.gets.remove(&op) else {
+            return;
+        };
+        ctx.cancel_timer(get.timer);
+        if let Some(current) = get.current {
+            ctx.cancel_timer(current.timer);
+        }
+        ctx.send(get.client, Message::ClientGetReply { op, result });
+    }
+}
+
+impl Actor<Message> for Proxy {
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, msg: Message) {
+        match msg {
+            Message::ClientPut {
+                op,
+                key,
+                value,
+                policy,
+            } => {
+                if self.seen_client_ops.insert((from, op)) {
+                    self.start_put(ctx, from, op, key, value, policy);
+                }
+            }
+            Message::ClientGet { op, key } => {
+                if self.seen_client_ops.insert((from, op)) {
+                    self.start_get(ctx, from, op, key);
+                }
+            }
+            Message::DecideLocsReply { ov, dc, locations } => {
+                self.on_locations_decided(ctx, ov, dc, locations);
+            }
+            Message::StoreMetadataReply { ov, complete } => {
+                // FSs also acknowledge metadata updates; only KLS
+                // acknowledgments feed the AMR condition.
+                if self.puts.contains_key(&ov) {
+                    if complete && self.topo.is_kls(from) {
+                        self.puts
+                            .get_mut(&ov)
+                            .expect("checked")
+                            .kls_complete
+                            .insert(from);
+                    }
+                    self.on_put_progress(ctx, ov);
+                }
+            }
+            Message::StoreFragmentReply { ov, fragment } => {
+                if let Some(op) = self.puts.get_mut(&ov) {
+                    op.frag_acks.insert((from, fragment));
+                    op.distinct_frags.insert(fragment);
+                    self.on_put_progress(ctx, ov);
+                }
+            }
+            Message::RetrieveTsReply {
+                op, versions, more, ..
+            } => {
+                self.on_retrieve_ts_reply(ctx, op, from, versions, more);
+            }
+            Message::RetrieveFragReply { op, ov, data, .. } => {
+                self.on_retrieve_frag_reply(ctx, op, ov, data);
+            }
+            other => {
+                debug_assert!(false, "proxy received unexpected {:?}", other);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Message>, tag: u64) {
+        let low = tag & !TAG_MASK;
+        match tag & TAG_MASK {
+            TAG_PUT => {
+                if let Some(ov) = self.put_seq.get(&low).copied() {
+                    // Unreached threshold by the deadline: the client gets
+                    // "unknown" (failure); convergence may still finish
+                    // the version later.
+                    self.finish_put(ctx, ov, false);
+                }
+            }
+            TAG_GET => {
+                let op = low;
+                if self.gets.contains_key(&op) {
+                    self.finish_get(ctx, op, None);
+                }
+            }
+            TAG_GET_ATTEMPT => {
+                let op = low;
+                if let Some(get) = self.gets.get_mut(&op) {
+                    if let Some(current) = get.current.as_mut() {
+                        current.timed_out = true;
+                        self.maybe_advance(ctx, op);
+                    }
+                }
+            }
+            _ => debug_assert!(false, "unknown proxy timer tag {tag:#x}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig, ClusterLayout};
+    use crate::convergence::ConvergenceOptions;
+    use crate::policy::Policy;
+    use simnet::{FaultPlan, SimTime};
+
+    /// Tiny cluster: 2 DCs x (1 KLS + 1 FS), policy (2, 4).
+    fn tiny_config() -> ClusterConfig {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.layout = ClusterLayout {
+            dcs: 2,
+            kls_per_dc: 1,
+            fs_per_dc: 1,
+        };
+        cfg.policy = Policy::new(2, 4, 2, 2);
+        cfg
+    }
+
+    #[test]
+    fn timestamps_are_unique_and_monotonic_per_proxy() {
+        let mut cluster = Cluster::build(tiny_config(), 1);
+        cluster.put(b"a", vec![1; 100]);
+        cluster.put(b"a", vec![2; 100]);
+        cluster.run_to_convergence();
+        let client = cluster.client();
+        let versions: Vec<_> = client.success_versions().iter().collect();
+        assert_eq!(versions.len(), 2);
+        assert!(versions[0].ts < versions[1].ts);
+        assert_eq!(versions[0].ts.proxy(), versions[1].ts.proxy());
+    }
+
+    #[test]
+    fn clock_skew_shifts_timestamps() {
+        let mut cfg = tiny_config();
+        cfg.proxy.clock_skew = SimDuration::from_secs(100);
+        let mut cluster = Cluster::build(cfg, 1);
+        cluster.put(b"a", vec![1; 10]);
+        cluster.run_to_convergence();
+        let ov = *cluster.client().success_versions().iter().next().unwrap();
+        assert!(
+            ov.ts.clock_micros() >= 100_000_000,
+            "skew applied: {:?}",
+            ov.ts
+        );
+    }
+
+    #[test]
+    fn fully_acked_put_broadcasts_amr_indications() {
+        let mut cluster = Cluster::build(tiny_config(), 3);
+        cluster.put(b"x", vec![9; 500]);
+        let report = cluster.run_to_convergence();
+        assert_eq!(cluster.proxy().puts_fully_acked(), 1);
+        // One indication per sibling FS (2 FSs in the tiny world).
+        assert_eq!(report.metrics.kind("AMRIndication").count, 2);
+    }
+
+    #[test]
+    fn put_amr_disabled_still_fully_acks_without_indications() {
+        let mut cfg = tiny_config();
+        cfg.convergence = ConvergenceOptions::naive();
+        let mut cluster = Cluster::build(cfg, 3);
+        cluster.put(b"x", vec![9; 500]);
+        let report = cluster.run_to_convergence();
+        assert_eq!(cluster.proxy().puts_fully_acked(), 1);
+        assert_eq!(report.metrics.kind("AMRIndication").count, 0);
+    }
+
+    #[test]
+    fn put_fails_cleanly_when_no_fragments_can_be_stored() {
+        // Both FSs unreachable forever: the put can never meet its
+        // threshold; the proxy must answer failure at its timeout, and
+        // the client will retry until the harness deadline.
+        let layout = ClusterLayout {
+            dcs: 2,
+            kls_per_dc: 1,
+            fs_per_dc: 1,
+        };
+        let mut faults = FaultPlan::none();
+        let forever = SimDuration::from_secs(100_000);
+        faults.add_node_outage(layout.fs(0, 0), SimTime::ZERO, forever);
+        faults.add_node_outage(layout.fs(1, 0), SimTime::ZERO, forever);
+        let mut cfg = tiny_config();
+        cfg.max_sim_time = SimDuration::from_secs(30);
+        let mut cluster = Cluster::build_with_faults(cfg, 5, faults);
+        cluster.put(b"doomed", vec![1; 100]);
+        let report = cluster.run_to_convergence();
+        assert_eq!(report.puts_succeeded, 0);
+        assert!(report.puts_attempted >= 2, "client kept retrying");
+        assert_eq!(report.amr_versions, 0);
+    }
+
+    #[test]
+    fn get_of_missing_key_fails_after_all_kls_answer() {
+        let mut cluster = Cluster::build(tiny_config(), 6);
+        cluster.put(b"exists", vec![3; 64]);
+        cluster.run_to_convergence();
+        assert_eq!(cluster.get(b"never-written"), None);
+        // The failure came from exhaustive KLS answers, not a timeout:
+        // well under the 5 s get timeout.
+        assert!(cluster.sim().now().as_secs_f64() < 60.0);
+    }
+
+    #[test]
+    fn get_decodes_from_partial_replies_during_outage() {
+        // One FS down: its two fragments are unreachable, but the other
+        // FS's two fragments are exactly k and must decode.
+        let layout = ClusterLayout {
+            dcs: 2,
+            kls_per_dc: 1,
+            fs_per_dc: 1,
+        };
+        let outage_start = SimTime::ZERO + SimDuration::from_secs(60);
+        let mut faults = FaultPlan::none();
+        faults.add_node_outage(layout.fs(1, 0), outage_start, SimDuration::from_secs(600));
+        let mut cluster = Cluster::build_with_faults(tiny_config(), 8, faults);
+        cluster.put(b"k", vec![0xAB; 4000]);
+        cluster.run_to_convergence();
+        cluster
+            .sim_mut()
+            .run_until_time(outage_start + SimDuration::from_secs(5));
+        assert_eq!(cluster.get(b"k"), Some(vec![0xAB; 4000]));
+    }
+
+    #[test]
+    fn proxy_codec_cache_reuses_instances() {
+        let topo = crate::topology::Topology::new(vec![(
+            vec![simnet::NodeId::new(0)],
+            vec![simnet::NodeId::new(1)],
+        )]);
+        let mut proxy = Proxy::new(topo, DataCenterId::new(0), 0, ProxyConfig::default());
+        let a = proxy.codec(2, 4) as *const Codec;
+        let b = proxy.codec(2, 4) as *const Codec;
+        assert_eq!(a, b, "same parameters reuse the cached codec");
+        let c = proxy.codec(4, 12) as *const Codec;
+        assert_ne!(a, c);
+    }
+}

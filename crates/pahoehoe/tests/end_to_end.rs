@@ -1,0 +1,163 @@
+//! End-to-end protocol tests for a full simulated Pahoehoe cluster.
+
+use pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout};
+use pahoehoe::convergence::ConvergenceOptions;
+use simnet::{FaultPlan, NetworkConfig, RunOutcome, SimDuration, SimTime};
+
+fn small_workload(mut cfg: ClusterConfig, puts: usize) -> ClusterConfig {
+    cfg.workload_puts = puts;
+    cfg.workload_value_len = 8 * 1024;
+    cfg
+}
+
+#[test]
+fn failure_free_with_all_optimizations_needs_no_convergence() {
+    let cfg = small_workload(ClusterConfig::paper_default(), 10);
+    let mut cluster = Cluster::build(cfg, 1);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+    assert_eq!(report.puts_attempted, 10);
+    assert_eq!(report.puts_succeeded, 10);
+    assert_eq!(report.amr_versions, 10);
+    assert_eq!(report.excess_amr, 0);
+    assert_eq!(report.non_durable, 0);
+    assert_eq!(report.durable_not_amr, 0);
+    // Put-AMR indications suppress all convergence traffic.
+    let m = &report.metrics;
+    assert_eq!(m.kind("KLSConvergeReq").count, 0);
+    assert_eq!(m.kind("FSConvergeReq").count, 0);
+    assert_eq!(m.kind("RetrieveFragReq").count, 0);
+    // One AMR indication per sibling FS per put.
+    assert_eq!(m.kind("AMRIndication").count, 10 * 6);
+    // 12 fragments per put, each stored exactly once.
+    assert_eq!(m.kind("StoreFragmentReq").count, 10 * 12);
+}
+
+#[test]
+fn failure_free_naive_converges_with_probes() {
+    let mut cfg = small_workload(ClusterConfig::paper_default(), 10);
+    cfg.convergence = ConvergenceOptions::naive();
+    let mut cluster = Cluster::build(cfg, 2);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+    assert_eq!(report.amr_versions, 10);
+    let m = &report.metrics;
+    // Naive convergence probes every KLS and sibling FS.
+    assert!(m.kind("KLSConvergeReq").count > 0);
+    assert!(m.kind("FSConvergeReq").count > 0);
+    assert_eq!(m.kind("AMRIndication").count, 0, "no indications in naive");
+    // No fragment was ever re-transferred: convergence only verified.
+    assert_eq!(m.kind("RetrieveFragReq").count, 0);
+    assert_eq!(m.kind("SiblingStoreReq").count, 0);
+}
+
+#[test]
+fn fs_outage_is_repaired_by_convergence() {
+    let layout = ClusterLayout {
+        dcs: 2,
+        kls_per_dc: 2,
+        fs_per_dc: 3,
+    };
+    let mut faults = FaultPlan::none();
+    // One FS in DC0 is unreachable for 10 minutes from the start.
+    faults.add_node_outage(layout.fs(0, 0), SimTime::ZERO, SimDuration::from_mins(10));
+    let cfg = small_workload(ClusterConfig::paper_default(), 5);
+    let mut cluster = Cluster::build_with_faults(cfg, 3, faults);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+    assert_eq!(report.puts_succeeded, 5, "puts succeed despite the outage");
+    assert_eq!(report.amr_versions, 5, "convergence repaired the outage");
+    assert_eq!(report.durable_not_amr, 0);
+    // Repair required fragment recovery traffic.
+    assert!(report.metrics.kind("RetrieveFragReq").count > 0);
+    // Convergence finished within minutes of the outage healing.
+    assert!(report.sim_time >= SimTime::ZERO + SimDuration::from_mins(10));
+    assert!(report.sim_time <= SimTime::ZERO + SimDuration::from_mins(60));
+}
+
+#[test]
+fn wan_partition_preserves_availability_and_heals() {
+    let layout = ClusterLayout {
+        dcs: 2,
+        kls_per_dc: 2,
+        fs_per_dc: 3,
+    };
+    let mut faults = FaultPlan::none();
+    // The proxy (and its client) sit in DC0, so they partition with it.
+    let mut side_a = layout.dc_nodes(0);
+    side_a.push(layout.proxy());
+    side_a.push(layout.client());
+    faults.add_partition(
+        &side_a,
+        &layout.dc_nodes(1),
+        SimTime::ZERO,
+        SimDuration::from_mins(10),
+    );
+    let cfg = small_workload(ClusterConfig::paper_default(), 5);
+    let mut cluster = Cluster::build_with_faults(cfg, 4, faults);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+    // Availability: puts succeed during the partition using only DC0
+    // (the proxy's side), per the paper's single-DC success threshold.
+    assert_eq!(report.puts_succeeded, 5);
+    // Eventual consistency: after the partition heals every version is
+    // repaired to full redundancy in DC1 too.
+    assert_eq!(report.amr_versions, 5);
+    assert!(
+        report.metrics.kind("RetrieveFragReq").count > 0,
+        "DC1 fragments must be regenerated from DC0 fragments"
+    );
+}
+
+#[test]
+fn lossy_network_eventually_converges() {
+    let mut cfg = small_workload(ClusterConfig::paper_default(), 10);
+    cfg.network = NetworkConfig::with_drop_rate(0.10);
+    let mut cluster = Cluster::build(cfg, 5);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+    assert_eq!(report.puts_succeeded, 10);
+    assert!(report.puts_attempted >= 10);
+    assert_eq!(report.durable_not_amr, 0, "every durable version is AMR");
+    assert!(report.metrics.dropped() > 0, "losses actually happened");
+}
+
+#[test]
+fn get_after_convergence_returns_stored_values() {
+    let cfg = ClusterConfig::paper_default();
+    let mut cluster = Cluster::build(cfg, 6);
+    cluster.put(b"alpha", vec![1u8; 5000]);
+    cluster.put(b"beta", vec![2u8; 333]);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.amr_versions, 2);
+    assert_eq!(cluster.get(b"alpha"), Some(vec![1u8; 5000]));
+    assert_eq!(cluster.get(b"beta"), Some(vec![2u8; 333]));
+    assert_eq!(cluster.get(b"gamma"), None, "unknown key fails cleanly");
+}
+
+#[test]
+fn overwrites_return_the_latest_version() {
+    let mut cluster = Cluster::build(ClusterConfig::paper_default(), 7);
+    cluster.put(b"key", b"old".to_vec());
+    cluster.run_to_convergence();
+    cluster.put(b"key", b"new".to_vec());
+    cluster.run_to_convergence();
+    assert_eq!(cluster.get(b"key"), Some(b"new".to_vec()));
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = |seed| {
+        let cfg = small_workload(ClusterConfig::paper_default(), 5);
+        let mut cluster = Cluster::build(cfg, seed);
+        let r = cluster.run_to_convergence();
+        (
+            r.sim_time,
+            r.metrics.total_count(),
+            r.metrics.total_bytes(),
+            r.puts_attempted,
+        )
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11).1, 0);
+}

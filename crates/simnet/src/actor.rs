@@ -1,0 +1,81 @@
+//! The actor contract implemented by protocol state machines.
+
+use std::any::Any;
+
+use crate::engine::Context;
+use crate::node::NodeId;
+use crate::payload::Payload;
+
+/// A deterministic event-driven state machine living at one network node.
+///
+/// Actors never block and never read wall-clock time; all effects go
+/// through the [`Context`] (sending messages, scheduling timers, sampling
+/// randomness), which is what makes runs replayable from a seed.
+pub trait Actor<M: Payload> {
+    /// Called once when the simulation starts, before any event fires.
+    /// Typical use: scheduling the first periodic timer.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message addressed to this actor is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer scheduled by this actor fires. `tag` is the value
+    /// passed to [`Context::schedule_timer`]; actors multiplex their timers
+    /// through it.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64);
+
+    /// Upcast for state inspection by harnesses (e.g. "are all object
+    /// versions AMR yet?"). Implementations are always `fn as_any(&self)
+    /// -> &dyn Any { self }`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for harnesses that inject work between run calls.
+    /// Implementations are always
+    /// `fn as_any_mut(&mut self) -> &mut dyn Any { self }`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+
+    #[derive(Clone)]
+    struct Unit;
+    impl Payload for Unit {
+        fn kind(&self) -> &'static str {
+            "Unit"
+        }
+        fn wire_size(&self) -> usize {
+            1
+        }
+    }
+
+    struct Probe {
+        started: bool,
+    }
+    impl Actor<Unit> for Probe {
+        fn on_start(&mut self, _ctx: &mut Context<'_, Unit>) {
+            self.started = true;
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Unit>, _from: NodeId, _msg: Unit) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Unit>, _tag: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn on_start_runs_and_as_any_downcasts() {
+        let mut sim: Simulation<Unit> = Simulation::new(1);
+        let id = sim.add_actor(Probe { started: false });
+        sim.run_until_quiescent();
+        let probe: &Probe = sim.actor(id);
+        assert!(probe.started);
+    }
+}

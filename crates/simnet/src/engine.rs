@@ -1,0 +1,745 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a set of actors, a virtual clock, a seeded RNG and
+//! a priority queue of pending events (message deliveries and timer
+//! firings). Events execute in `(time, sequence)` order, so two runs with
+//! the same seed and the same actor set are bit-for-bit identical.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::Actor;
+use crate::metrics::Metrics;
+use crate::network::{FaultPlan, NetworkConfig};
+use crate::node::NodeId;
+use crate::payload::Payload;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Disposition, Trace, TraceEvent};
+
+/// Handle to a scheduled timer, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: TimerId, tag: u64 },
+}
+
+struct QueuedEvent<M> {
+    at: SimTime,
+    seq: u64,
+    to: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Why a `run_*` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Quiescent,
+    /// The caller's predicate returned `true`.
+    PredicateSatisfied,
+    /// The virtual-time deadline was reached.
+    DeadlineReached,
+    /// The event-count safety limit was hit (almost certainly a bug such as
+    /// a self-perpetuating timer loop).
+    EventLimitReached,
+}
+
+struct Inner<M> {
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    rng: StdRng,
+    network: NetworkConfig,
+    faults: FaultPlan,
+    metrics: Metrics,
+    cancelled: HashSet<TimerId>,
+    trace: Option<Trace>,
+}
+
+impl<M: Payload> Inner<M> {
+    fn push(&mut self, at: SimTime, to: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { at, seq, to, kind });
+    }
+
+    fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay;
+        self.push(at, node, EventKind::Timer { id, tag });
+        id
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        // Count at send time: dropped messages were still sent (§5.1).
+        self.metrics.record_send(msg.kind(), msg.wire_size());
+        let disposition = if self.faults.blocks(from, to, self.now) {
+            self.metrics.record_drop();
+            Disposition::DroppedFault
+        } else if self.network.drop_rate > 0.0 && self.rng.random::<f64>() < self.network.drop_rate
+        {
+            self.metrics.record_drop();
+            Disposition::DroppedRandom
+        } else {
+            Disposition::Delivered
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                at: self.now,
+                from,
+                to,
+                kind: msg.kind(),
+                bytes: msg.wire_size(),
+                disposition,
+            });
+        }
+        if disposition != Disposition::Delivered {
+            return;
+        }
+        // Bounded duplication (§3.1's channel model): a delivered message
+        // may arrive twice, with independent latencies.
+        let copies = if self.network.duplicate_rate > 0.0
+            && self.rng.random::<f64>() < self.network.duplicate_rate
+        {
+            self.metrics.record_duplicate();
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let latency = self.network.sample_link_latency(from, to, &mut self.rng);
+            self.push(
+                self.now + latency,
+                to,
+                EventKind::Deliver {
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+/// The execution environment handed to an actor while it processes an
+/// event. All actor effects — sending, timers, randomness — go through
+/// here, keeping the run deterministic.
+pub struct Context<'a, M: Payload> {
+    self_id: NodeId,
+    inner: &'a mut Inner<M>,
+}
+
+impl<M: Payload> Context<'_, M> {
+    /// The id of the actor processing the current event.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Sends `msg` to `to`. Delivery (if the message survives the loss
+    /// model) happens after a sampled network latency. Messages to self are
+    /// legal and traverse the network like any other.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.inner.send(self.self_id, to, msg);
+    }
+
+    /// Schedules a timer to fire on this actor after `delay`, carrying
+    /// `tag` back to [`Actor::on_timer`].
+    pub fn schedule_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        self.inner.schedule_timer(self.self_id, delay, tag)
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling a timer that
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.inner.cancelled.insert(id);
+    }
+
+    /// The simulation's seeded random number generator.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.inner.rng
+    }
+}
+
+/// A deterministic discrete-event simulation over actors exchanging
+/// messages of type `M`.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulation<M: Payload> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    inner: Inner<M>,
+    started: bool,
+    events_processed: u64,
+    event_limit: u64,
+}
+
+impl<M: Payload> Simulation<M> {
+    /// Creates a simulation with the paper-default network model
+    /// (uniform 10–30 ms latency, no loss) and no scheduled faults.
+    pub fn new(seed: u64) -> Self {
+        Simulation::with_network(seed, NetworkConfig::paper_default(), FaultPlan::none())
+    }
+
+    /// Creates a simulation with an explicit network model and fault plan.
+    pub fn with_network(seed: u64, network: NetworkConfig, faults: FaultPlan) -> Self {
+        Simulation {
+            actors: Vec::new(),
+            inner: Inner {
+                now: SimTime::ZERO,
+                seq: 0,
+                next_timer: 0,
+                queue: BinaryHeap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                network,
+                faults,
+                metrics: Metrics::new(),
+                cancelled: HashSet::new(),
+                trace: None,
+            },
+            started: false,
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events this simulation will process; a run
+    /// that hits the cap returns [`RunOutcome::EventLimitReached`]. Useful
+    /// as a safety net around protocols that retry forever.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Adds an actor and returns its node id. Ids are dense indices in
+    /// insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started running.
+    pub fn add_actor<A: Actor<M> + 'static>(&mut self, actor: A) -> NodeId {
+        assert!(!self.started, "cannot add actors after the run started");
+        let id = NodeId::new(self.actors.len() as u32);
+        self.actors.push(Some(Box::new(actor)));
+        id
+    }
+
+    /// Number of actors in the simulation.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Schedules a timer on `node` from outside the simulation (e.g. to
+    /// kick off a client workload).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
+        self.inner.schedule_timer(node, delay, tag)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Traffic metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Enables per-message event tracing (off by default — large runs
+    /// send millions of messages). Call before running.
+    pub fn enable_trace(&mut self) {
+        if self.inner.trace.is_none() {
+            self.inner.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.inner.trace.as_ref()
+    }
+
+    /// The fault plan (immutable once running).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Borrows the actor at `id`, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the actor is not a `T`.
+    pub fn actor<T: Any>(&self, id: NodeId) -> &T {
+        self.try_actor(id).expect("actor type mismatch")
+    }
+
+    /// Borrows the actor at `id` if it is a `T`.
+    pub fn try_actor<T: Any>(&self, id: NodeId) -> Option<&T> {
+        self.actors
+            .get(id.index())
+            .and_then(|slot| slot.as_ref())
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably borrows the actor at `id`, downcast to its concrete type.
+    /// Intended for harnesses injecting work between run calls (e.g.
+    /// appending to a scripted client); pair it with
+    /// [`schedule_timer`](Self::schedule_timer) to wake the actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the actor is not a `T`.
+    pub fn actor_mut<T: Any>(&mut self, id: NodeId) -> &mut T {
+        self.actors
+            .get_mut(id.index())
+            .and_then(|slot| slot.as_mut())
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+            .expect("actor type mismatch")
+    }
+
+    /// Runs until no events remain.
+    pub fn run_until_quiescent(&mut self) -> RunOutcome {
+        self.run_impl(SimTime::MAX, |_| false)
+    }
+
+    /// Runs until `pred` holds (checked after every event) or the queue
+    /// drains.
+    pub fn run_until(&mut self, pred: impl FnMut(&Simulation<M>) -> bool) -> RunOutcome {
+        self.run_impl(SimTime::MAX, pred)
+    }
+
+    /// Runs until virtual time reaches `deadline` or the queue drains.
+    /// Events scheduled exactly at the deadline do not execute.
+    pub fn run_until_time(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_impl(deadline, |_| false)
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let id = NodeId::new(i as u32);
+            let mut actor = self.actors[i].take().expect("actor slot occupied");
+            let mut ctx = Context {
+                self_id: id,
+                inner: &mut self.inner,
+            };
+            actor.on_start(&mut ctx);
+            self.actors[i] = Some(actor);
+        }
+    }
+
+    fn run_impl(
+        &mut self,
+        deadline: SimTime,
+        mut pred: impl FnMut(&Simulation<M>) -> bool,
+    ) -> RunOutcome {
+        self.start_if_needed();
+        if pred(self) {
+            return RunOutcome::PredicateSatisfied;
+        }
+        loop {
+            // Skip cancelled timers without counting them as events.
+            while let Some(ev) = self.inner.queue.peek() {
+                if let EventKind::Timer { id, .. } = &ev.kind {
+                    if self.inner.cancelled.remove(id) {
+                        self.inner.queue.pop();
+                        continue;
+                    }
+                }
+                break;
+            }
+            let Some(ev) = self.inner.queue.peek() else {
+                // With an explicit deadline, an idle simulation still
+                // advances its clock to the deadline, so callers can move
+                // virtual time forward past scheduled fault windows.
+                if deadline < SimTime::MAX {
+                    self.inner.now = deadline;
+                    return RunOutcome::DeadlineReached;
+                }
+                return RunOutcome::Quiescent;
+            };
+            if ev.at >= deadline {
+                self.inner.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            if self.events_processed >= self.event_limit {
+                return RunOutcome::EventLimitReached;
+            }
+            let ev = self.inner.queue.pop().expect("peeked event exists");
+            debug_assert!(ev.at >= self.inner.now, "time went backwards");
+            self.inner.now = ev.at;
+            self.events_processed += 1;
+
+            let slot = ev.to.index();
+            let mut actor = self.actors[slot]
+                .take()
+                .expect("event addressed to unknown or re-entered actor");
+            {
+                let mut ctx = Context {
+                    self_id: ev.to,
+                    inner: &mut self.inner,
+                };
+                match ev.kind {
+                    EventKind::Deliver { from, msg } => actor.on_message(&mut ctx, from, msg),
+                    EventKind::Timer { tag, .. } => actor.on_timer(&mut ctx, tag),
+                }
+            }
+            self.actors[slot] = Some(actor);
+
+            if pred(self) {
+                return RunOutcome::PredicateSatisfied;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Payload for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "Ping",
+                Msg::Pong(_) => "Pong",
+            }
+        }
+        fn wire_size(&self) -> usize {
+            match self {
+                Msg::Ping(_) => 100,
+                Msg::Pong(_) => 50,
+            }
+        }
+    }
+
+    /// Sends `rounds` pings to a peer, counting pongs.
+    struct Pinger {
+        peer: NodeId,
+        rounds: u32,
+        pongs: u32,
+        last_pong_at: SimTime,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            for i in 0..self.rounds {
+                ctx.send(self.peer, Msg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(_) = msg {
+                self.pongs += 1;
+                self.last_pong_at = ctx.now();
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _tag: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Replies Pong to every Ping.
+    struct Ponger;
+    impl Actor<Msg> for Ponger {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(i) = msg {
+                ctx.send(from, Msg::Pong(i));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _tag: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ping_pong_sim(seed: u64, rounds: u32) -> (Simulation<Msg>, NodeId) {
+        let mut sim = Simulation::new(seed);
+        let ponger = sim.add_actor(Ponger);
+        let pinger = sim.add_actor(Pinger {
+            peer: ponger,
+            rounds,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        // Fix the peer id (added after): rebuild with correct order instead.
+        let _ = pinger;
+        (sim, pinger)
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let mut sim = Simulation::new(7);
+        let ponger = sim.add_actor(Ponger);
+        let pinger = sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 10,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        assert_eq!(sim.run_until_quiescent(), RunOutcome::Quiescent);
+        let p: &Pinger = sim.actor(pinger);
+        assert_eq!(p.pongs, 10);
+        // 10 pings + 10 pongs.
+        assert_eq!(sim.metrics().total_count(), 20);
+        assert_eq!(sim.metrics().kind("Ping").bytes, 1000);
+        assert_eq!(sim.metrics().kind("Pong").bytes, 500);
+        // Each round trip takes 20..60ms; all in flight concurrently.
+        assert!(p.last_pong_at >= SimTime::from_micros(20_000));
+        assert!(p.last_pong_at <= SimTime::from_micros(60_000));
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let run = |seed| {
+            let (mut sim, pinger) = ping_pong_sim(seed, 50);
+            sim.run_until_quiescent();
+            let p: &Pinger = sim.actor(pinger);
+            (p.last_pong_at, sim.metrics().total_count())
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123).0, run(456).0, "different seeds differ");
+    }
+
+    #[test]
+    fn drop_rate_one_loses_everything() {
+        let mut sim =
+            Simulation::with_network(1, NetworkConfig::with_drop_rate(1.0), FaultPlan::none());
+        let ponger = sim.add_actor(Ponger);
+        let pinger = sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 5,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        sim.run_until_quiescent();
+        let p: &Pinger = sim.actor(pinger);
+        assert_eq!(p.pongs, 0);
+        assert_eq!(sim.metrics().total_count(), 5, "sends still counted");
+        assert_eq!(sim.metrics().dropped(), 5);
+    }
+
+    #[test]
+    fn node_outage_blocks_messages_then_heals() {
+        struct LateSender {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for LateSender {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(self.peer, Msg::Ping(0)); // during outage: dropped
+                ctx.schedule_timer(SimDuration::from_secs(120), 0);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _tag: u64) {
+                ctx.send(self.peer, Msg::Ping(1)); // after outage: delivered
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Counter {
+            seen: Vec<u32>,
+        }
+        impl Actor<Msg> for Counter {
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+                if let Msg::Ping(i) = msg {
+                    self.seen.push(i);
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _tag: u64) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let counter_id = NodeId::new(0);
+        let mut faults = FaultPlan::none();
+        faults.add_node_outage(counter_id, SimTime::ZERO, SimDuration::from_secs(60));
+        let mut sim = Simulation::with_network(9, NetworkConfig::paper_default(), faults);
+        let c = sim.add_actor(Counter { seen: Vec::new() });
+        assert_eq!(c, counter_id);
+        sim.add_actor(LateSender { peer: c });
+        sim.run_until_quiescent();
+        let counter: &Counter = sim.actor(c);
+        assert_eq!(counter.seen, vec![1], "only the post-outage ping lands");
+    }
+
+    #[test]
+    fn duplicate_rate_one_delivers_everything_twice() {
+        let mut sim = Simulation::with_network(
+            4,
+            NetworkConfig {
+                duplicate_rate: 1.0,
+                ..NetworkConfig::paper_default()
+            },
+            FaultPlan::none(),
+        );
+        let ponger = sim.add_actor(Ponger);
+        let pinger = sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 5,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        sim.run_until_quiescent();
+        let p: &Pinger = sim.actor(pinger);
+        // 5 pings delivered twice -> 10 pongs sent, each delivered twice.
+        assert_eq!(p.pongs, 20);
+        // Sends counted once per protocol send: 5 pings + 10 pongs.
+        assert_eq!(sim.metrics().total_count(), 15);
+        assert_eq!(sim.metrics().duplicated(), 15);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        struct TimerBox {
+            fired: Vec<u64>,
+            to_cancel: Option<TimerId>,
+        }
+        impl Actor<Msg> for TimerBox {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.schedule_timer(SimDuration::from_millis(30), 3);
+                ctx.schedule_timer(SimDuration::from_millis(10), 1);
+                self.to_cancel = Some(ctx.schedule_timer(SimDuration::from_millis(20), 2));
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+                self.fired.push(tag);
+                if tag == 1 {
+                    let id = self.to_cancel.take().expect("set in on_start");
+                    ctx.cancel_timer(id);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(5);
+        let id = sim.add_actor(TimerBox {
+            fired: Vec::new(),
+            to_cancel: None,
+        });
+        sim.run_until_quiescent();
+        let b: &TimerBox = sim.actor(id);
+        assert_eq!(b.fired, vec![1, 3], "tag 2 cancelled, order preserved");
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let mut sim = Simulation::new(3);
+        let ponger = sim.add_actor(Ponger);
+        let pinger = sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 100,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        let outcome = sim.run_until(|s| s.actor::<Pinger>(pinger).pongs >= 5);
+        assert_eq!(outcome, RunOutcome::PredicateSatisfied);
+        assert!(sim.actor::<Pinger>(pinger).pongs >= 5);
+        assert!(sim.actor::<Pinger>(pinger).pongs < 100);
+    }
+
+    #[test]
+    fn run_until_time_stops_at_deadline() {
+        let mut sim = Simulation::new(3);
+        let ponger = sim.add_actor(Ponger);
+        sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 10,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        let deadline = SimTime::from_micros(15_000);
+        let outcome = sim.run_until_time(deadline);
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(sim.now(), deadline);
+    }
+
+    #[test]
+    fn event_limit_is_a_safety_net() {
+        let mut sim = Simulation::new(3);
+        let ponger = sim.add_actor(Ponger);
+        sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 100,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        sim.set_event_limit(10);
+        assert_eq!(sim.run_until_quiescent(), RunOutcome::EventLimitReached);
+        assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn try_actor_type_checks() {
+        let mut sim: Simulation<Msg> = Simulation::new(0);
+        let id = sim.add_actor(Ponger);
+        assert!(sim.try_actor::<Ponger>(id).is_some());
+        assert!(sim.try_actor::<Pinger>(id).is_none());
+        assert!(sim.try_actor::<Ponger>(NodeId::new(99)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "after the run started")]
+    fn adding_actor_after_start_panics() {
+        let mut sim: Simulation<Msg> = Simulation::new(0);
+        sim.add_actor(Ponger);
+        sim.run_until_quiescent();
+        sim.add_actor(Ponger);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-message-kind traffic accounting.
+//!
+//! The paper's evaluation criteria (§5.1): "the message bytes sent and the
+//! number of messages sent to reach AMR, including all activity from the
+//! proxy's put and all convergence activity". Messages are counted at
+//! **send** time — a dropped message was still sent and still cost network
+//! capacity, which is what the lossy-network experiment measures.
+
+use std::collections::BTreeMap;
+
+/// Count and byte totals for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Number of messages of this kind sent.
+    pub count: u64,
+    /// Total modeled wire bytes of this kind sent.
+    pub bytes: u64,
+}
+
+/// Traffic totals broken down by message kind.
+///
+/// Kinds are ordered lexicographically (`BTreeMap`) so reports are stable
+/// across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    per_kind: BTreeMap<&'static str, KindStats>,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records that one message of `kind` with `bytes` wire bytes was sent.
+    pub fn record_send(&mut self, kind: &'static str, bytes: usize) {
+        let e = self.per_kind.entry(kind).or_default();
+        e.count += 1;
+        e.bytes += bytes as u64;
+    }
+
+    /// Records that a sent message was dropped in flight.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Records that a delivered message was duplicated by the channel.
+    pub fn record_duplicate(&mut self) {
+        self.duplicated += 1;
+    }
+
+    /// Stats for a single kind (zero if never seen).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(kind, stats)` in lexicographic kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
+        self.per_kind.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_count(&self) -> u64 {
+        self.per_kind.values().map(|s| s.count).sum()
+    }
+
+    /// Total bytes sent across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_kind.values().map(|s| s.bytes).sum()
+    }
+
+    /// Number of sent messages that were dropped in flight.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of messages the channel duplicated.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Merges another metrics object into this one (used when aggregating
+    /// trials).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, s) in other.iter() {
+            let e = self.per_kind.entry(k).or_default();
+            e.count += s.count;
+            e.bytes += s.bytes;
+        }
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = Metrics::new();
+        m.record_send("A", 10);
+        m.record_send("A", 20);
+        m.record_send("B", 5);
+        assert_eq!(
+            m.kind("A"),
+            KindStats {
+                count: 2,
+                bytes: 30
+            }
+        );
+        assert_eq!(m.kind("B"), KindStats { count: 1, bytes: 5 });
+        assert_eq!(m.kind("C"), KindStats::default());
+        assert_eq!(m.total_count(), 3);
+        assert_eq!(m.total_bytes(), 35);
+    }
+
+    #[test]
+    fn drops_tracked_separately_from_sends() {
+        let mut m = Metrics::new();
+        m.record_send("A", 10);
+        m.record_drop();
+        assert_eq!(m.total_count(), 1, "dropped messages still count as sent");
+        assert_eq!(m.dropped(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Metrics::new();
+        m.record_send("Zed", 1);
+        m.record_send("Alpha", 1);
+        m.record_send("Mid", 1);
+        let kinds: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, ["Alpha", "Mid", "Zed"]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics::new();
+        a.record_send("X", 1);
+        let mut b = Metrics::new();
+        b.record_send("X", 2);
+        b.record_send("Y", 3);
+        b.record_drop();
+        a.merge(&b);
+        assert_eq!(a.kind("X"), KindStats { count: 2, bytes: 3 });
+        assert_eq!(a.kind("Y"), KindStats { count: 1, bytes: 3 });
+        assert_eq!(a.dropped(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifies an actor in a [`Simulation`](crate::Simulation).
+///
+/// Ids are dense indices assigned in the order actors are added. The paper
+/// relies on server ids being totally ordered — the sibling-fragment-
+/// recovery backoff rule is "an FS only backs off if its unique server id is
+/// lower than the other sibling FS's unique id" — which `NodeId`'s `Ord`
+/// provides.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_order() {
+        let a = NodeId::new(3);
+        assert_eq!(a.index(), 3);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(format!("{a}"), "n3");
+    }
+}

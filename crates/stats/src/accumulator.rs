@@ -1,0 +1,208 @@
+//! Online mean/variance accumulation (Welford's algorithm).
+
+use crate::t_table::t_critical_95;
+
+/// Numerically stable online accumulator for mean, variance, and extremes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A finished statistical summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected); zero for `n < 2`.
+    pub std_dev: f64,
+    /// Half-width of the two-sided 95 % confidence interval for the mean
+    /// (Student-t); zero for `n < 2`.
+    pub ci95_half_width: f64,
+    /// Smallest observation (NaN if empty).
+    pub min: f64,
+    /// Largest observation (NaN if empty).
+    pub max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if self.n == 1 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Bessel-corrected sample variance; zero for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Finishes into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        let std_dev = self.std_dev();
+        let ci = if self.n >= 2 {
+            t_critical_95((self.n - 1) as usize) * std_dev / (self.n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n: self.n,
+            mean: self.mean,
+            std_dev,
+            ci95_half_width: ci,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+impl Summary {
+    /// Formats as `mean ± ci95` with the given precision, e.g. `12.3 ± 0.4`.
+    pub fn to_ci_string(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ± {:.p$}",
+            self.mean,
+            self.ci95_half_width,
+            p = precision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        let s = acc.summary();
+        assert!(s.min.is_nan() && s.max.is_nan());
+        assert_eq!(s.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let acc: Accumulator = [7.0].into_iter().collect();
+        let s = acc.summary();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width, 0.0);
+        assert_eq!((s.min, s.max), (7.0, 7.0));
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        // 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population var 4, sample var 32/7.
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(acc.mean(), 5.0);
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        let s = acc.summary();
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+        // CI half-width = t(7) * s / sqrt(8).
+        let expected = 2.365 * (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt();
+        assert!((s.ci95_half_width - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let acc: Accumulator = std::iter::repeat_n(3.5, 50).collect();
+        let s = acc.summary();
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_with_large_offsets() {
+        // Same variance whether or not a huge constant offset is present.
+        let base: Accumulator = (0..1000).map(|i| (i % 7) as f64).collect();
+        let offset: Accumulator = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
+        assert!((base.variance() - offset.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ci_string_formatting() {
+        let acc: Accumulator = [1.0, 2.0, 3.0].into_iter().collect();
+        let s = acc.summary();
+        assert_eq!(
+            s.to_ci_string(1),
+            format!("{:.1} ± {:.1}", s.mean, s.ci95_half_width)
+        );
+    }
+
+    #[test]
+    fn extend_matches_push() {
+        let mut a = Accumulator::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let mut b = Accumulator::new();
+        for x in [1.0, 2.0, 3.0] {
+            b.push(x);
+        }
+        assert_eq!(a, b);
+    }
+}

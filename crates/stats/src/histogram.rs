@@ -1,0 +1,194 @@
+//! Fixed-bucket histograms for latency-style distributions.
+
+use std::fmt;
+
+/// A histogram over `[0, +inf)` with uniform-width finite buckets and an
+/// overflow bucket, rendered as an ASCII bar chart. Used for
+/// time-to-convergence distributions in the ablation reports.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` finite buckets of `bucket_width`
+    /// each; samples at or beyond `buckets * bucket_width` land in the
+    /// overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0, "histogram domain is [0, inf)");
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the raw observations (not bucket midpoints).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Count in finite bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Count beyond the last finite bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) from bucket upper bounds;
+    /// `None` if empty. Overflow reports as infinity.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 1.0) * self.bucket_width);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self
+            .buckets
+            .iter()
+            .copied()
+            .chain([self.overflow])
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let bar = "#".repeat((c * 40 / max) as usize);
+            writeln!(
+                f,
+                "[{:>8.1}, {:>8.1}) {:>6} {}",
+                i as f64 * self.bucket_width,
+                (i + 1) as f64 * self.bucket_width,
+                c,
+                bar
+            )?;
+        }
+        let bar = "#".repeat((self.overflow * 40 / max) as usize);
+        writeln!(
+            f,
+            "[{:>8.1},      inf) {:>6} {}",
+            self.buckets.len() as f64 * self.bucket_width,
+            self.overflow,
+            bar
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(10.0, 3);
+        for x in [0.0, 5.0, 9.999, 10.0, 25.0, 31.0, 99.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket(0), 3);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new(1.0, 4);
+        for x in [1.0, 2.0, 3.0] {
+            h.record(x);
+        }
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(1.0, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_use_bucket_upper_bounds() {
+        let mut h = Histogram::new(10.0, 10);
+        for _ in 0..90 {
+            h.record(5.0);
+        }
+        for _ in 0..10 {
+            h.record(55.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(0.9), Some(10.0));
+        assert_eq!(h.quantile(0.95), Some(60.0));
+        assert_eq!(Histogram::new(1.0, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_quantile_is_infinite() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(100.0);
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn display_renders_all_buckets() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(9.0);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("inf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn negative_sample_panics() {
+        Histogram::new(1.0, 1).record(-0.1);
+    }
+}

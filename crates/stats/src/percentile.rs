@@ -1,0 +1,71 @@
+//! Order statistics.
+
+/// Returns the `p`-th percentile (`0.0..=100.0`) of `samples` using linear
+/// interpolation between closest ranks, without modifying the input order.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        assert_eq!(percentile(&[4.2], 0.0), Some(4.2));
+        assert_eq!(percentile(&[4.2], 100.0), Some(4.2));
+    }
+
+    #[test]
+    fn median_and_extremes() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let xs = [10.0, 20.0];
+        assert_eq!(percentile(&xs, 25.0), Some(12.5));
+        assert_eq!(percentile(&xs, 75.0), Some(17.5));
+    }
+
+    #[test]
+    fn input_order_is_irrelevant() {
+        let a = [9.0, 7.0, 8.0, 1.0];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(percentile(&a, 95.0), percentile(&b, 95.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be")]
+    fn out_of_range_percentile_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Two-sided 95 % critical values of Student's t distribution.
+
+/// Two-sided 95 % critical values for 1..=30 degrees of freedom.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Selected higher degrees of freedom, interpolated linearly between.
+const T_95_SPARSE: [(usize, f64); 8] = [
+    (30, 2.042),
+    (40, 2.021),
+    (50, 2.009),
+    (60, 2.000),
+    (80, 1.990),
+    (100, 1.984),
+    (150, 1.976),
+    (200, 1.972),
+];
+
+/// The two-sided 95 % Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table values for `df <= 30`, linear interpolation up to 200, and
+/// the normal-approximation value 1.96 beyond.
+///
+/// # Panics
+///
+/// Panics if `df == 0` (a confidence interval needs at least two samples).
+pub fn t_critical_95(df: usize) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    if df <= 30 {
+        return T_95[df - 1];
+    }
+    if df >= 200 {
+        return 1.96;
+    }
+    let idx = T_95_SPARSE
+        .windows(2)
+        .find(|w| w[0].0 <= df && df <= w[1].0)
+        .expect("df in 30..200 covered by the sparse table");
+    let (d0, t0) = idx[0];
+    let (d1, t1) = idx[1];
+    let frac = (df - d0) as f64 / (d1 - d0) as f64;
+    t0 + frac * (t1 - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_dfs() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(10), 2.228);
+        assert_eq!(t_critical_95(30), 2.042);
+    }
+
+    #[test]
+    fn interpolated_mid_dfs() {
+        assert_eq!(t_critical_95(40), 2.021);
+        let t45 = t_critical_95(45);
+        assert!(t45 < 2.021 && t45 > 2.009, "t(45)={t45}");
+        // Paper's sample sizes: 50 runs -> df=49, 150 runs -> df=149.
+        let t49 = t_critical_95(49);
+        assert!((2.009..2.021).contains(&t49));
+        let t149 = t_critical_95(149);
+        assert!((1.975..1.985).contains(&t149));
+    }
+
+    #[test]
+    fn large_df_is_normal() {
+        assert_eq!(t_critical_95(200), 1.96);
+        assert_eq!(t_critical_95(10_000), 1.96);
+    }
+
+    #[test]
+    fn monotonically_decreasing() {
+        let mut prev = t_critical_95(1);
+        for df in 2..250 {
+            let t = t_critical_95(df);
+            assert!(t <= prev + 1e-12, "df={df}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn zero_df_panics() {
+        let _ = t_critical_95(0);
+    }
+}

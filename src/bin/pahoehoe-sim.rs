@@ -1,0 +1,190 @@
+//! `pahoehoe-sim` — run a Pahoehoe scenario from the command line.
+//!
+//! A swiss-army driver for the simulated cluster: choose a workload, an
+//! optimization preset, failures and a loss rate, and get the paper-style
+//! per-message-kind report plus convergence statistics.
+//!
+//! ```text
+//! USAGE: pahoehoe-sim [OPTIONS]
+//!   --puts N            number of puts              [default: 20]
+//!   --value-bytes N     object size in bytes        [default: 102400]
+//!   --opt PRESET        naive|fsamr-s|fsamr-u|putamr|sibling|all [default: all]
+//!   --drop-rate P       message drop probability    [default: 0.0]
+//!   --fs-down N         FSs unavailable for 10 min  [default: 0]
+//!   --kls-down PATTERN  0|1|2C|2P|3                 [default: 0]
+//!   --seed N            simulation seed             [default: 42]
+//!   --trace             print the first 40 traced messages
+//! ```
+//!
+//! Example: reproduce one trial of the paper's Figure 7 "2-All" bar:
+//!
+//! ```text
+//! cargo run --release --bin pahoehoe-sim -- --puts 100 --fs-down 2 --opt all
+//! ```
+
+use pahoehoe_repro::experiments::figures::{fs_outage, kls_outage, paper_layout};
+use pahoehoe_repro::pahoehoe::cluster::{Cluster, ClusterConfig};
+use pahoehoe_repro::pahoehoe::convergence::ConvergenceOptions;
+use pahoehoe_repro::simnet::{FaultPlan, NetworkConfig};
+
+struct Args {
+    puts: usize,
+    value_bytes: usize,
+    opt: String,
+    drop_rate: f64,
+    fs_down: usize,
+    kls_down: String,
+    seed: u64,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        puts: 20,
+        value_bytes: 100 * 1024,
+        opt: "all".into(),
+        drop_rate: 0.0,
+        fs_down: 0,
+        kls_down: "0".into(),
+        seed: 42,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--puts" => args.puts = val("--puts")?.parse().map_err(|e| format!("--puts: {e}"))?,
+            "--value-bytes" => {
+                args.value_bytes = val("--value-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--value-bytes: {e}"))?
+            }
+            "--opt" => args.opt = val("--opt")?,
+            "--drop-rate" => {
+                args.drop_rate = val("--drop-rate")?
+                    .parse()
+                    .map_err(|e| format!("--drop-rate: {e}"))?
+            }
+            "--fs-down" => {
+                args.fs_down = val("--fs-down")?
+                    .parse()
+                    .map_err(|e| format!("--fs-down: {e}"))?
+            }
+            "--kls-down" => args.kls_down = val("--kls-down")?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--trace" => args.trace = true,
+            "--help" | "-h" => {
+                return Err("see the module docs at the top of pahoehoe-sim.rs".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn preset(name: &str) -> Result<ConvergenceOptions, String> {
+    Ok(match name {
+        "naive" => ConvergenceOptions::naive(),
+        "fsamr-s" => ConvergenceOptions::fs_amr_synchronized(),
+        "fsamr-u" => ConvergenceOptions::fs_amr_unsynchronized(),
+        "putamr" => ConvergenceOptions::put_amr(),
+        "sibling" => ConvergenceOptions::sibling(),
+        "all" => ConvergenceOptions::all(),
+        other => return Err(format!("unknown preset {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pahoehoe-sim: {e}");
+            std::process::exit(2);
+        }
+    };
+    let conv = match preset(&args.opt) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pahoehoe-sim: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let layout = paper_layout();
+    let mut faults = FaultPlan::none();
+    if args.fs_down > 0 {
+        faults.merge(&fs_outage(layout, args.fs_down));
+    }
+    if args.kls_down != "0" {
+        faults.merge(&kls_outage(layout, &args.kls_down));
+    }
+
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.layout = layout;
+    cfg.convergence = conv;
+    cfg.workload_puts = args.puts;
+    cfg.workload_value_len = args.value_bytes;
+    cfg.network = NetworkConfig::with_drop_rate(args.drop_rate);
+
+    let mut cluster = Cluster::build_with_faults(cfg, args.seed, faults);
+    if args.trace {
+        cluster.sim_mut().enable_trace();
+    }
+
+    println!(
+        "pahoehoe-sim: {} puts x {} B, opt={}, drop={}, fs-down={}, kls-down={}, seed={}",
+        args.puts,
+        args.value_bytes,
+        args.opt,
+        args.drop_rate,
+        args.fs_down,
+        args.kls_down,
+        args.seed
+    );
+    let report = cluster.run_to_convergence();
+
+    println!("\noutcome:        {:?}", report.outcome);
+    println!("sim time:       {}", report.sim_time);
+    println!(
+        "puts:           {} attempted, {} succeeded",
+        report.puts_attempted, report.puts_succeeded
+    );
+    println!(
+        "versions:       {} AMR ({} excess), {} non-durable, {} stuck",
+        report.amr_versions, report.excess_amr, report.non_durable, report.durable_not_amr
+    );
+    if !report.time_to_amr.is_empty() {
+        let mid = &report.time_to_amr[report.time_to_amr.len() / 2];
+        let max = report.time_to_amr.last().expect("non-empty");
+        println!("time to AMR:    median {mid}, max {max}");
+    }
+
+    println!("\nper-kind traffic (client traffic excluded):");
+    println!("{:22} {:>10} {:>14}", "kind", "count", "bytes");
+    for (kind, stats) in report.metrics.iter() {
+        if kind.starts_with("Client") {
+            continue;
+        }
+        println!("{:22} {:>10} {:>14}", kind, stats.count, stats.bytes);
+    }
+    let (mut c, mut b) = (0u64, 0u64);
+    for (kind, stats) in report.metrics.iter() {
+        if !kind.starts_with("Client") {
+            c += stats.count;
+            b += stats.bytes;
+        }
+    }
+    println!("{:22} {:>10} {:>14}", "TOTAL", c, b);
+
+    if args.trace {
+        if let Some(trace) = cluster.sim().trace() {
+            println!("\nfirst traced messages:");
+            for e in trace.events().iter().take(40) {
+                println!(
+                    "  {} {} -> {} {} ({} B) {:?}",
+                    e.at, e.from, e.to, e.kind, e.bytes, e.disposition
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the Pahoehoe reproduction.
+//!
+//! Re-exports the workspace crates so that the `examples/` and `tests/`
+//! directories at the repository root can exercise the whole system through
+//! one dependency. Library users should depend on the individual crates
+//! ([`pahoehoe`], [`erasure`], [`simnet`], …) directly.
+//!
+//! ```
+//! use pahoehoe_repro::pahoehoe::cluster::{Cluster, ClusterConfig};
+//!
+//! let mut cluster = Cluster::build(ClusterConfig::paper_default(), 1);
+//! cluster.put(b"hello", b"world".to_vec());
+//! let report = cluster.run_to_convergence();
+//! assert_eq!(report.amr_versions, 1);
+//! assert_eq!(cluster.get(b"hello"), Some(b"world".to_vec()));
+//! ```
+
+pub use erasure;
+pub use experiments;
+pub use pahoehoe;
+pub use simnet;
+pub use stats;

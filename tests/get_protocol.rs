@@ -1,0 +1,126 @@
+//! Get-protocol behaviour: paged timestamp retrieval (§3.5), safe
+//! fallback across non-AMR versions, and abort semantics.
+
+use pahoehoe_repro::pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout, ExtraProxy};
+use pahoehoe_repro::simnet::{FaultPlan, SimDuration, SimTime};
+
+fn layout() -> ClusterLayout {
+    ClusterLayout {
+        dcs: 2,
+        kls_per_dc: 2,
+        fs_per_dc: 3,
+    }
+}
+
+/// Builds the paging scenario: version v1 of a key converges, then the
+/// primary proxy's links to five of six FSs are cut, so every further put
+/// attempt of that key leaves a failed, two-fragment version behind. A
+/// reader in the other DC (whose proxy is unblocked) must page through
+/// the pile of dead versions and return v1.
+#[test]
+fn get_pages_through_failed_versions_to_the_latest_recoverable() {
+    let l = layout();
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.extra_proxies = vec![ExtraProxy {
+        dc: 1,
+        clock_skew: SimDuration::ZERO,
+    }];
+    // Small pages force iteration (the paper's iterative retrieval).
+    cfg.proxy.ts_page_size = 2;
+
+    // Cut the primary proxy's links to all FSs except fs(0,0), starting
+    // after v1 has converged (60 s in).
+    let cut_start = SimTime::ZERO + SimDuration::from_secs(60);
+    let forever = SimDuration::from_secs(1_000_000);
+    let mut faults = FaultPlan::none();
+    for (dc, i) in [(0, 1), (0, 2), (1, 0), (1, 1), (1, 2)] {
+        faults.add_link_outage(l.proxy(), l.fs(dc, i), cut_start, forever);
+    }
+
+    let mut cluster = Cluster::build_with_faults(cfg, 11, faults);
+    cluster.put(b"paged", b"v1-durable".to_vec());
+    let r = cluster.run_to_convergence();
+    assert_eq!(r.amr_versions, 1);
+
+    // Enter the degraded window and pile up failed attempts of the same
+    // key (the client retries a put that can never reach k fragments).
+    cluster
+        .sim_mut()
+        .run_until_time(cut_start + SimDuration::from_secs(1));
+    cluster.put(b"paged", b"v2-unreachable".to_vec());
+    cluster
+        .sim_mut()
+        .run_until_time(cut_start + SimDuration::from_secs(30));
+
+    // The reader in DC1 sees: several newer versions, none decodable
+    // (five FSs answer ⊥ for them), each provably non-AMR -> fall back,
+    // page by page, to v1.
+    let got = cluster.get_from(0, b"paged");
+    assert_eq!(got, Some(b"v1-durable".to_vec()));
+
+    // Paging actually happened: more than one RetrieveTs round trip per
+    // KLS for this single get (4 KLSs x 1 page would be 4 requests; the
+    // failed-version pile spans multiple pages of size 2).
+    let retrieves = cluster.sim().metrics().kind("RetrieveTsReq").count;
+    assert!(retrieves > 8, "expected paging, saw {retrieves} requests");
+}
+
+#[test]
+fn get_aborts_rather_than_returning_stale_data_without_proof() {
+    // All FSs unreachable: retrieving the (AMR) newest version stalls
+    // with no ⊥ evidence, so the get must abort — not fall back —
+    // preserving regular semantics.
+    let l = layout();
+    let mut faults = FaultPlan::none();
+    let forever = SimDuration::from_secs(1_000_000);
+    let outage_start = SimTime::ZERO + SimDuration::from_secs(120);
+    for dc in 0..2 {
+        for i in 0..3 {
+            faults.add_node_outage(l.fs(dc, i), outage_start, forever);
+        }
+    }
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.max_sim_time = SimDuration::from_secs(600);
+    let mut cluster = Cluster::build_with_faults(cfg, 5, faults);
+    cluster.put(b"k", b"v1".to_vec());
+    cluster.put(b"k", b"v2".to_vec());
+    let r = cluster.run_to_convergence();
+    assert_eq!(r.amr_versions, 2, "both versions converged pre-outage");
+    cluster
+        .sim_mut()
+        .run_until_time(outage_start + SimDuration::from_secs(5));
+    // v2 is AMR; with every FS dark there is no ⊥ and no incomplete
+    // metadata — no proof of non-AMR — so the get aborts instead of
+    // returning v1.
+    assert_eq!(cluster.get(b"k"), None, "abort, never stale data");
+}
+
+#[test]
+fn paged_and_unpaged_gets_agree() {
+    // Same history read with page sizes 1 and 100: identical results.
+    let value_of = |ps: u16| {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.proxy.ts_page_size = ps;
+        let mut cluster = Cluster::build(cfg, 9);
+        for gen in 0..6u8 {
+            cluster.put(b"multi", vec![gen; 256]);
+            cluster.run_to_convergence();
+        }
+        cluster.get(b"multi")
+    };
+    let paged = value_of(1);
+    let unpaged = value_of(100);
+    assert_eq!(paged, unpaged);
+    assert_eq!(paged, Some(vec![5u8; 256]));
+}
+
+#[test]
+fn empty_page_size_one_still_finds_single_version() {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.proxy.ts_page_size = 1;
+    let mut cluster = Cluster::build(cfg, 3);
+    cluster.put(b"one", vec![7; 100]);
+    cluster.run_to_convergence();
+    assert_eq!(cluster.get(b"one"), Some(vec![7; 100]));
+    assert_eq!(cluster.get(b"absent"), None);
+}
