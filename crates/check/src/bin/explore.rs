@@ -1,0 +1,135 @@
+//! Invariant-sweep driver: `cargo run --release -p check --bin explore`.
+//!
+//! Runs the full protocol-invariant registry after every event of every
+//! `(seed, fault plan, convergence preset)` scenario. Exits 0 when every
+//! invariant held everywhere; on a violation, prints the shrunk minimal
+//! repro triple, dumps the violating run's message trace to a file and
+//! exits 1.
+//!
+//! Flags:
+//!
+//! * `--smoke` — the 54-scenario smoke sweep (default is the 144-scenario
+//!   full sweep);
+//! * `--seeds N` — override the number of seeds swept;
+//! * `--puts N`, `--value-len N` — workload shape;
+//! * `--inject-corruption` — deliberately corrupt a stored fragment after
+//!   convergence in every scenario, to prove the checker catches it;
+//! * `--trace-out PATH` — where to write the violation trace (default
+//!   `target/check-violation.trace`);
+//! * `--quiet` — suppress per-scenario progress lines.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use check::explorer::{self, Injection, SweepConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore [--smoke] [--seeds N] [--puts N] [--value-len N] \
+         [--inject-corruption] [--trace-out PATH] [--quiet]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = SweepConfig::full();
+    let mut injection = Injection::None;
+    let mut trace_out = PathBuf::from("target/check-violation.trace");
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--smoke" => {
+                let workload = cfg.workload;
+                cfg = SweepConfig::smoke();
+                cfg.workload = workload;
+            }
+            "--seeds" => cfg.seeds = (0..num(&mut args) as u64).collect(),
+            "--puts" => cfg.workload.puts = num(&mut args),
+            "--value-len" => cfg.workload.value_len = num(&mut args),
+            "--inject-corruption" => injection = Injection::CorruptFragment,
+            "--trace-out" => trace_out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+
+    let total = cfg.scenarios().len();
+    println!(
+        "exploring {total} scenarios ({} seeds x {} fault specs x {} presets), \
+         {} puts of {} B each",
+        cfg.seeds.len(),
+        cfg.fault_specs.len(),
+        cfg.presets.len(),
+        cfg.workload.puts,
+        cfg.workload.value_len
+    );
+
+    let mut n = 0usize;
+    let result = explorer::sweep(&cfg, injection, |sc, outcome| {
+        n += 1;
+        if !quiet {
+            println!(
+                "[{n:>3}/{total}] seed={} preset={:<7} drop={}% dup={}% outages={} -> \
+                 {:?}, {} events, {:.0}s virtual{}",
+                sc.seed,
+                sc.preset.name(),
+                sc.faults.drop_centi,
+                sc.faults.dup_centi,
+                sc.faults.outages.len(),
+                outcome.outcome,
+                outcome.events,
+                outcome.sim_time.as_secs_f64(),
+                if outcome.violation.is_some() {
+                    "  ** VIOLATION **"
+                } else {
+                    ""
+                },
+            );
+        }
+    });
+
+    match result.violation {
+        None => {
+            println!(
+                "ok: {} scenarios, {} events checked against all {} invariants",
+                result.scenarios_run,
+                result.events_checked,
+                check::invariants::registry().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(report) => {
+            println!();
+            println!(
+                "INVARIANT VIOLATED: {} — {}",
+                report.violation.invariant, report.violation.detail
+            );
+            println!(
+                "  at event {} / {:.3}s virtual",
+                report.violation.events_processed,
+                report.violation.sim_time.as_secs_f64()
+            );
+            println!("  first seen:   {:?}", report.original);
+            println!("  shrunk repro: {:?}", report.shrunk);
+            if let Some(dir) = trace_out.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&trace_out, &report.trace) {
+                Ok(()) => println!(
+                    "  trace: {} events dumped to {}",
+                    report.trace.lines().count(),
+                    trace_out.display()
+                ),
+                Err(e) => println!("  trace: failed to write {}: {e}", trace_out.display()),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Determinism lint driver: `cargo run -p check --bin lint`.
+//!
+//! Scans every `crates/*/src/**/*.rs` under the workspace root (default:
+//! the current directory; pass a path to override) for constructs that
+//! break seeded-simulation determinism. Exits 0 when clean, 1 with one
+//! line per finding otherwise. `--rules` lists the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use check::lint;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--rules" => {
+                for (name, what) in lint::RULES {
+                    println!("{name:<18} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: lint [WORKSPACE_ROOT] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+
+    let findings = match lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("lint: clean ({} rules)", lint::RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

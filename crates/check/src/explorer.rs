@@ -1,0 +1,495 @@
+//! Scenario sweep, violation shrinking and trace dumping.
+//!
+//! The explorer is a small explicit-state model checker over the
+//! *parameter* space of the simulation: every scenario is a `(seed, fault
+//! plan, convergence options)` triple, and a run of a scenario is fully
+//! deterministic, so a violating triple **is** a reproduction recipe. The
+//! sweep runs the full [invariant registry](crate::invariants::registry)
+//! after every simulation event of every scenario; on the first violation
+//! it greedily shrinks the triple (dropping outages, zeroing loss and
+//! duplication) to the minimal fault plan that still violates, and renders
+//! the shrunk run's message trace for offline diagnosis.
+
+use pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout};
+use pahoehoe::convergence::ConvergenceOptions;
+use pahoehoe::fs::{Fs, WAKE_TIMER_TAG};
+use simnet::{FaultPlan, NetworkConfig, NodeId, RunOutcome, SimDuration, SimTime};
+
+use crate::invariants::{Checker, Violation};
+
+/// The six convergence configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Naïve convergence (§3.4).
+    Naive,
+    /// FS AMR indications, synchronized rounds (*FSAMR-S*).
+    FsAmrSynchronized,
+    /// FS AMR indications, unsynchronized rounds (*FSAMR-U*).
+    FsAmrUnsynchronized,
+    /// Proxy Put-AMR indications (*PutAMR*).
+    PutAmr,
+    /// Sibling fragment recovery (*Sibling*).
+    Sibling,
+    /// Every optimization (*All*).
+    All,
+}
+
+impl Preset {
+    /// All six presets, in the paper's presentation order.
+    pub const ALL: [Preset; 6] = [
+        Preset::Naive,
+        Preset::FsAmrSynchronized,
+        Preset::FsAmrUnsynchronized,
+        Preset::PutAmr,
+        Preset::Sibling,
+        Preset::All,
+    ];
+
+    /// The paper's label for this configuration.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Naive => "Naive",
+            Preset::FsAmrSynchronized => "FSAMR-S",
+            Preset::FsAmrUnsynchronized => "FSAMR-U",
+            Preset::PutAmr => "PutAMR",
+            Preset::Sibling => "Sibling",
+            Preset::All => "All",
+        }
+    }
+
+    /// The corresponding [`ConvergenceOptions`].
+    pub fn options(self) -> ConvergenceOptions {
+        match self {
+            Preset::Naive => ConvergenceOptions::naive(),
+            Preset::FsAmrSynchronized => ConvergenceOptions::fs_amr_synchronized(),
+            Preset::FsAmrUnsynchronized => ConvergenceOptions::fs_amr_unsynchronized(),
+            Preset::PutAmr => ConvergenceOptions::put_amr(),
+            Preset::Sibling => ConvergenceOptions::sibling(),
+            Preset::All => ConvergenceOptions::all(),
+        }
+    }
+}
+
+/// One scheduled node outage, in layout-independent form: `node` is a raw
+/// node index (see [`ClusterLayout`] for the id assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Raw node index of the affected server.
+    pub node: u32,
+    /// Outage start (seconds of virtual time).
+    pub start_secs: u64,
+    /// Outage duration (seconds).
+    pub dur_secs: u64,
+}
+
+/// A fault plan in enumerable, shrinkable form. Rates are in hundredths
+/// (integers shrink and compare cleanly; `drop_centi: 5` = 5 % loss).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Random message loss, in percent.
+    pub drop_centi: u8,
+    /// Random message duplication, in percent.
+    pub dup_centi: u8,
+    /// Scheduled node outages. All must heal well before the scenario's
+    /// virtual-time deadline, or the AMR-convergence invariant is not
+    /// meaningful.
+    pub outages: Vec<Outage>,
+}
+
+impl FaultSpec {
+    /// No faults at all.
+    pub fn clean() -> Self {
+        FaultSpec {
+            drop_centi: 0,
+            dup_centi: 0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Whether this spec injects any fault.
+    pub fn is_clean(&self) -> bool {
+        self.drop_centi == 0 && self.dup_centi == 0 && self.outages.is_empty()
+    }
+
+    /// The network model this spec induces (paper-default latency).
+    pub fn network(&self) -> NetworkConfig {
+        NetworkConfig {
+            drop_rate: f64::from(self.drop_centi) / 100.0,
+            duplicate_rate: f64::from(self.dup_centi) / 100.0,
+            ..NetworkConfig::paper_default()
+        }
+    }
+
+    /// The outage schedule as a simnet fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for o in &self.outages {
+            plan.add_node_outage(
+                NodeId::new(o.node),
+                SimTime::ZERO + SimDuration::from_secs(o.start_secs),
+                SimDuration::from_secs(o.dur_secs),
+            );
+        }
+        plan
+    }
+
+    /// Single-step simplifications of this spec, in shrink preference
+    /// order: fewer outages first, then no duplication, then no loss.
+    fn simplifications(&self) -> Vec<FaultSpec> {
+        let mut out = Vec::new();
+        for i in 0..self.outages.len() {
+            let mut s = self.clone();
+            s.outages.remove(i);
+            out.push(s);
+        }
+        if self.dup_centi > 0 {
+            out.push(FaultSpec {
+                dup_centi: 0,
+                ..self.clone()
+            });
+        }
+        if self.drop_centi > 0 {
+            out.push(FaultSpec {
+                drop_centi: 0,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+/// One point of the sweep: a fully deterministic run recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Injected faults.
+    pub faults: FaultSpec,
+    /// Convergence configuration under test.
+    pub preset: Preset,
+}
+
+/// Workload shape shared by every scenario of a sweep. Small values keep
+/// per-event invariant checking (which hashes and compares every stored
+/// fragment) cheap.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadCfg {
+    /// Number of standard-workload puts.
+    pub puts: usize,
+    /// Value length per put.
+    pub value_len: usize,
+}
+
+impl Default for WorkloadCfg {
+    fn default() -> Self {
+        WorkloadCfg {
+            puts: 3,
+            value_len: 4096,
+        }
+    }
+}
+
+/// A deliberately introduced bug, used to prove the checker catches
+/// violations end to end (and by the intentional-bug test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// No bug: the protocols run as implemented.
+    None,
+    /// After the run converges, silently flip bytes of one stored fragment
+    /// without updating its recorded checksum, then let the simulation run
+    /// a little longer. The checksum-integrity (and durability) invariants
+    /// must flag the very next event.
+    CorruptFragment,
+}
+
+/// Everything observed about one scenario run.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// First invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// Events the simulation processed.
+    pub events: u64,
+    /// Virtual time at end of run.
+    pub sim_time: SimTime,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Rendered message trace (only when requested).
+    pub trace: Option<String>,
+    /// Debug rendering of the traffic metrics — byte-identical across
+    /// replays of the same scenario.
+    pub metrics_digest: String,
+}
+
+/// Runs one scenario under the full invariant registry.
+pub fn run_scenario(
+    sc: &Scenario,
+    wl: &WorkloadCfg,
+    injection: Injection,
+    want_trace: bool,
+) -> ScenarioOutcome {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.convergence = sc.preset.options();
+    cfg.workload_puts = wl.puts;
+    cfg.workload_value_len = wl.value_len;
+    cfg.network = sc.faults.network();
+    let mut cluster = Cluster::build_with_faults(cfg, sc.seed, sc.faults.plan());
+    cluster.sim_mut().enable_trace();
+    let checker = Checker::install_registry(&mut cluster);
+
+    let report = cluster.run_to_convergence();
+    if injection == Injection::CorruptFragment {
+        inject_corruption(&mut cluster);
+    }
+
+    let violation = checker.finish(&cluster, report.outcome);
+    let sim = cluster.sim();
+    ScenarioOutcome {
+        violation,
+        events: sim.events_processed(),
+        sim_time: sim.now(),
+        outcome: report.outcome,
+        trace: want_trace.then(|| {
+            sim.trace()
+                .map(|t| t.render())
+                .unwrap_or_else(|| "(trace disabled)".to_string())
+        }),
+        metrics_digest: format!("{:?}", sim.metrics()),
+    }
+}
+
+/// Flips one stored fragment's bytes behind the checksum bookkeeping's
+/// back, then runs the simulation briefly so the inspector observes the
+/// corrupted state.
+fn inject_corruption(cluster: &mut Cluster) {
+    let fss: Vec<NodeId> = cluster.topology().all_fss().collect();
+    let target = fss.iter().find_map(|&fs| {
+        let actor: &Fs = cluster.sim().actor(fs);
+        actor.known_versions().next().and_then(|ov| {
+            let entry = actor.entry(ov)?;
+            let idx = *entry.fragments.keys().next()?;
+            Some((fs, ov, idx))
+        })
+    });
+    let Some((fs, ov, idx)) = target else {
+        return; // nothing stored anywhere; nothing to corrupt
+    };
+    let flipped = cluster
+        .sim_mut()
+        .actor_mut::<Fs>(fs)
+        .corrupt_fragment(ov, idx);
+    debug_assert!(flipped);
+    let deadline = cluster.sim().now() + SimDuration::from_secs(2);
+    cluster
+        .sim_mut()
+        .schedule_timer(fs, SimDuration::from_millis(1), WAKE_TIMER_TAG);
+    cluster.sim_mut().run_until_time(deadline);
+}
+
+/// Greedily shrinks a violating scenario: repeatedly applies the first
+/// single-step fault simplification that still violates some invariant,
+/// until none does. The seed and preset — the other two coordinates of the
+/// repro triple — are preserved.
+pub fn shrink(sc: &Scenario, wl: &WorkloadCfg, injection: Injection) -> Scenario {
+    let violates = |candidate: &Scenario| {
+        run_scenario(candidate, wl, injection, false)
+            .violation
+            .is_some()
+    };
+    let mut current = sc.clone();
+    'outer: loop {
+        for spec in current.faults.simplifications() {
+            let candidate = Scenario {
+                faults: spec,
+                ..current.clone()
+            };
+            if violates(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// The sweep definition: the cartesian product of seeds, fault specs and
+/// presets, all run under one workload shape.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Fault specs to sweep.
+    pub fault_specs: Vec<FaultSpec>,
+    /// Convergence presets to sweep.
+    pub presets: Vec<Preset>,
+    /// Workload shape.
+    pub workload: WorkloadCfg,
+}
+
+impl SweepConfig {
+    /// The standard pool of fault specs: clean, loss-only, duplication-only,
+    /// outage mixes. Outage node indices follow the paper-default layout
+    /// (two DCs × two KLSs + three FSs); all outages heal within the first
+    /// two virtual minutes.
+    pub fn fault_pool() -> Vec<FaultSpec> {
+        let layout = ClusterLayout {
+            dcs: 2,
+            kls_per_dc: 2,
+            fs_per_dc: 3,
+        };
+        let fs = |dc, i| layout.fs(dc, i).index() as u32;
+        let kls = |dc, i| layout.kls(dc, i).index() as u32;
+        vec![
+            FaultSpec::clean(),
+            FaultSpec {
+                drop_centi: 5,
+                dup_centi: 0,
+                outages: vec![],
+            },
+            FaultSpec {
+                drop_centi: 0,
+                dup_centi: 5,
+                outages: vec![],
+            },
+            FaultSpec {
+                drop_centi: 2,
+                dup_centi: 2,
+                outages: vec![Outage {
+                    node: fs(1, 0),
+                    start_secs: 0,
+                    dur_secs: 60,
+                }],
+            },
+            FaultSpec {
+                drop_centi: 0,
+                dup_centi: 0,
+                outages: vec![
+                    Outage {
+                        node: kls(0, 0),
+                        start_secs: 0,
+                        dur_secs: 30,
+                    },
+                    Outage {
+                        node: fs(0, 1),
+                        start_secs: 10,
+                        dur_secs: 60,
+                    },
+                ],
+            },
+            FaultSpec {
+                drop_centi: 10,
+                dup_centi: 5,
+                outages: vec![Outage {
+                    node: fs(1, 2),
+                    start_secs: 0,
+                    dur_secs: 120,
+                }],
+            },
+        ]
+    }
+
+    /// The smoke sweep: 3 seeds × 3 fault specs × all 6 presets = 54
+    /// scenarios.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            seeds: (0..3).collect(),
+            fault_specs: SweepConfig::fault_pool().into_iter().take(3).collect(),
+            presets: Preset::ALL.to_vec(),
+            workload: WorkloadCfg::default(),
+        }
+    }
+
+    /// The full sweep: 4 seeds × 6 fault specs × all 6 presets = 144
+    /// scenarios.
+    pub fn full() -> Self {
+        SweepConfig {
+            seeds: (0..4).collect(),
+            fault_specs: SweepConfig::fault_pool(),
+            presets: Preset::ALL.to_vec(),
+            workload: WorkloadCfg::default(),
+        }
+    }
+
+    /// The scenarios of this sweep, in deterministic order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &seed in &self.seeds {
+            for spec in &self.fault_specs {
+                for &preset in &self.presets {
+                    out.push(Scenario {
+                        seed,
+                        faults: spec.clone(),
+                        preset,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A violating scenario, shrunk, with its evidence.
+#[derive(Debug)]
+pub struct ViolationReport {
+    /// The scenario that first violated.
+    pub original: Scenario,
+    /// The shrunk minimal `(seed, faults, options)` triple.
+    pub shrunk: Scenario,
+    /// The violation observed on the **shrunk** scenario.
+    pub violation: Violation,
+    /// Rendered message trace of the shrunk run.
+    pub trace: String,
+}
+
+/// The result of a sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Scenarios completed (including the violating one, if any).
+    pub scenarios_run: usize,
+    /// Total simulation events processed — every one of them checked
+    /// against every invariant.
+    pub events_checked: u64,
+    /// The first violation found, shrunk, or `None` if every invariant held
+    /// everywhere.
+    pub violation: Option<ViolationReport>,
+}
+
+/// Runs every scenario of `cfg`, stopping at (and shrinking) the first
+/// invariant violation. `progress` is invoked after each scenario with the
+/// scenario and its outcome.
+pub fn sweep(
+    cfg: &SweepConfig,
+    injection: Injection,
+    mut progress: impl FnMut(&Scenario, &ScenarioOutcome),
+) -> SweepResult {
+    let mut events_checked = 0u64;
+    let mut scenarios_run = 0usize;
+    for sc in cfg.scenarios() {
+        let outcome = run_scenario(&sc, &cfg.workload, injection, false);
+        scenarios_run += 1;
+        events_checked += outcome.events;
+        let violated = outcome.violation.is_some();
+        progress(&sc, &outcome);
+        if violated {
+            let shrunk = shrink(&sc, &cfg.workload, injection);
+            let shrunk_outcome = run_scenario(&shrunk, &cfg.workload, injection, true);
+            let violation = shrunk_outcome
+                .violation
+                .expect("shrink preserves the violation");
+            return SweepResult {
+                scenarios_run,
+                events_checked,
+                violation: Some(ViolationReport {
+                    original: sc,
+                    shrunk,
+                    violation,
+                    trace: shrunk_outcome.trace.unwrap_or_default(),
+                }),
+            };
+        }
+    }
+    SweepResult {
+        scenarios_run,
+        events_checked,
+        violation: None,
+    }
+}

@@ -1,0 +1,618 @@
+//! The protocol invariant registry and the per-event checker.
+//!
+//! Each [`Invariant`] encodes one property the paper claims for Pahoehoe,
+//! phrased over the *observer's* view of a running cluster (the same
+//! accessors [`pahoehoe::analysis`] uses). A [`Checker`] installs the whole
+//! registry as a [`simnet::Simulation::set_inspector`] hook, so every
+//! property is re-examined after **every** processed event — a violation is
+//! caught at the earliest event that exhibits it, not at quiescence, and
+//! the recorded event index pins it in the message trace.
+//!
+//! The registry assumes the cluster runs the **standard workload**
+//! ([`Client::standard_workload`]): workload key `i + 1` holds
+//! [`Client::synthetic_value`]`(i, value_len)`, which lets the durability
+//! invariant reconstruct the expected blob for any acknowledged version
+//! without help from the actors under test.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use erasure::{Checksum, Codec, Fragment};
+use pahoehoe::analysis;
+use pahoehoe::client::Client;
+use pahoehoe::cluster::Cluster;
+use pahoehoe::fs::Fs;
+use pahoehoe::messages::Message;
+use pahoehoe::topology::Topology;
+use pahoehoe::types::ObjectVersion;
+use pahoehoe::Policy;
+use simnet::{Disposition, NodeId, RunOutcome, SimTime, Simulation};
+
+/// One observed breach of a protocol invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Events processed when the violation was first observed (an index
+    /// into the run; `u64::MAX` for end-of-run checks).
+    pub events_processed: u64,
+    /// Virtual time of the observation.
+    pub sim_time: SimTime,
+    /// Human-readable description of the breach.
+    pub detail: String,
+}
+
+/// The cluster state handed to invariants: the simulation plus the static
+/// facts (topology, node ids, workload shape) captured when the checker
+/// was installed.
+pub struct ClusterView<'a> {
+    /// The simulation, mid-run or after the run.
+    pub sim: &'a Simulation<Message>,
+    /// Cluster topology (which nodes are KLSs/FSs, per data center).
+    pub topo: &'a Topology,
+    /// All fragment-server node ids.
+    pub fss: &'a [NodeId],
+    /// All key-lookup-server node ids.
+    pub klss: &'a [NodeId],
+    /// All client node ids.
+    pub clients: &'a [NodeId],
+    /// Standard-workload value length (drives blob reconstruction).
+    pub value_len: usize,
+    /// The durability policy of the workload's puts.
+    pub policy: Policy,
+}
+
+/// One checkable protocol property. Implementations may keep state across
+/// events (e.g. to detect regressions), which is why both hooks take
+/// `&mut self`.
+pub trait Invariant {
+    /// Stable rule name, used in reports and violation records.
+    fn name(&self) -> &'static str;
+
+    /// Checked after every processed simulation event. Return `Err` with a
+    /// description to report a violation.
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        let _ = view;
+        Ok(())
+    }
+
+    /// Checked once when the run ends, with the run's outcome.
+    fn check_final(&mut self, view: &ClusterView<'_>, outcome: RunOutcome) -> Result<(), String> {
+        let _ = (view, outcome);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1: acknowledged puts are durable and decodable.
+// ---------------------------------------------------------------------------
+
+/// Once a put is ACKed to a client, at least `k` distinct sibling
+/// fragments of that version are stored across the fragment servers, every
+/// stored fragment is byte-identical to the systematic encoding of the
+/// original blob, and `k` of them decode back to the blob.
+///
+/// Holds under message-level faults (loss, duplication, outages), which
+/// never destroy stored fragments. Runs that destroy disks or corrupt
+/// fragments deliberately must not register this invariant.
+pub struct AckedDurability {
+    codec: Option<Codec>,
+    /// Expected encodings, cached per version (encoding is the hot cost).
+    expected: BTreeMap<ObjectVersion, Vec<Fragment>>,
+    /// Versions whose decode path has already been exercised.
+    decoded: BTreeSet<ObjectVersion>,
+}
+
+impl AckedDurability {
+    /// Creates the invariant with empty caches.
+    pub fn new() -> Self {
+        AckedDurability {
+            codec: None,
+            expected: BTreeMap::new(),
+            decoded: BTreeSet::new(),
+        }
+    }
+
+    fn expected_fragments(&mut self, ov: ObjectVersion, view: &ClusterView<'_>) -> &[Fragment] {
+        let codec = self.codec.get_or_insert_with(|| {
+            Codec::new(usize::from(view.policy.k), usize::from(view.policy.n))
+                .expect("workload policy is a valid code")
+        });
+        self.expected.entry(ov).or_insert_with(|| {
+            let value = Client::synthetic_value(ov.key.as_u64().wrapping_sub(1), view.value_len);
+            codec.encode(&value)
+        })
+    }
+}
+
+impl Default for AckedDurability {
+    fn default() -> Self {
+        AckedDurability::new()
+    }
+}
+
+impl Invariant for AckedDurability {
+    fn name(&self) -> &'static str {
+        "acked-durability"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        let mut acked: BTreeSet<ObjectVersion> = BTreeSet::new();
+        for &c in view.clients {
+            acked.extend(view.sim.actor::<Client>(c).success_versions().iter());
+        }
+        for ov in acked {
+            let k = usize::from(view.policy.k);
+            let mut distinct: BTreeMap<u8, Fragment> = BTreeMap::new();
+            for &fs in view.fss {
+                let Some(entry) = view.sim.actor::<Fs>(fs).entry(ov) else {
+                    continue;
+                };
+                for (&idx, frag) in &entry.fragments {
+                    let expected = &self.expected_fragments(ov, view)[usize::from(idx)];
+                    if frag.data().as_ref() != expected.data().as_ref() {
+                        return Err(format!(
+                            "ACKed {ov:?}: fragment {idx} on {fs:?} differs from the \
+                             encoding of the original blob"
+                        ));
+                    }
+                    distinct.entry(idx).or_insert_with(|| frag.clone());
+                }
+            }
+            if distinct.len() < k {
+                return Err(format!(
+                    "ACKed {ov:?}: only {} distinct fragments stored, need k = {k}",
+                    distinct.len()
+                ));
+            }
+            if self.decoded.insert(ov) {
+                let subset: Vec<Fragment> = distinct.into_values().take(k).collect();
+                let codec = self.codec.as_ref().expect("codec built above");
+                let decoded = codec
+                    .decode(&subset, view.value_len)
+                    .map_err(|e| format!("ACKed {ov:?}: k fragments failed to decode: {e:?}"))?;
+                let expected =
+                    Client::synthetic_value(ov.key.as_u64().wrapping_sub(1), view.value_len);
+                if decoded != expected.as_ref() {
+                    return Err(format!(
+                        "ACKed {ov:?}: k fragments decoded to the wrong blob"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 2: quiescent runs converge to AMR.
+// ---------------------------------------------------------------------------
+
+/// A run that ends (converged, or quiescent after its faults healed)
+/// leaves **every durable version at maximum redundancy** — the paper's
+/// eventual-consistency claim. A run that instead hits its virtual-time
+/// deadline or event limit failed to converge, which is itself a
+/// violation.
+///
+/// Only meaningful for fault plans whose faults heal before the run's
+/// deadline; the explorer generates exactly such plans.
+pub struct QuiescentAmr;
+
+impl Invariant for QuiescentAmr {
+    fn name(&self) -> &'static str {
+        "amr-convergence"
+    }
+
+    fn check_final(&mut self, view: &ClusterView<'_>, outcome: RunOutcome) -> Result<(), String> {
+        if !matches!(
+            outcome,
+            RunOutcome::PredicateSatisfied | RunOutcome::Quiescent
+        ) {
+            return Err(format!(
+                "run failed to converge before its safety limit: {outcome:?}"
+            ));
+        }
+        let durable = analysis::durable_versions(view.sim, view.fss);
+        for &ov in &durable {
+            if !analysis::is_amr(view.sim, view.topo, ov) {
+                return Err(format!(
+                    "durable version {ov:?} is not at maximum redundancy at end of run"
+                ));
+            }
+        }
+        for &c in view.clients {
+            for &ov in view.sim.actor::<Client>(c).success_versions() {
+                if !durable.contains(&ov) {
+                    return Err(format!("ACKed version {ov:?} is not durable at end of run"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 3: no resurrection of abandoned versions.
+// ---------------------------------------------------------------------------
+
+/// Once a fragment server gives up on a version (its `give_up_age`
+/// garbage collection), that version never re-enters the server's pending
+/// or AMR sets — convergence must not resurrect state the server already
+/// discarded.
+pub struct NoResurrection {
+    gone: BTreeSet<(NodeId, ObjectVersion)>,
+}
+
+impl NoResurrection {
+    /// Creates the invariant with no abandoned versions recorded.
+    pub fn new() -> Self {
+        NoResurrection {
+            gone: BTreeSet::new(),
+        }
+    }
+}
+
+impl Default for NoResurrection {
+    fn default() -> Self {
+        NoResurrection::new()
+    }
+}
+
+impl Invariant for NoResurrection {
+    fn name(&self) -> &'static str {
+        "no-resurrection"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        for &fs in view.fss {
+            let actor = view.sim.actor::<Fs>(fs);
+            for ov in actor.pending_versions() {
+                if self.gone.contains(&(fs, ov)) {
+                    return Err(format!(
+                        "{fs:?} resurrected abandoned version {ov:?} into its pending set"
+                    ));
+                }
+            }
+            for ov in actor.amr_versions() {
+                if self.gone.contains(&(fs, ov)) {
+                    return Err(format!(
+                        "{fs:?} resurrected abandoned version {ov:?} into its AMR set"
+                    ));
+                }
+            }
+            for ov in actor.gave_up_versions() {
+                self.gone.insert((fs, ov));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 4: stored fragments match their recorded checksums.
+// ---------------------------------------------------------------------------
+
+/// Every fragment a server stores verifies against the content hash
+/// recorded when it was durably stored, and every stored fragment *has* a
+/// recorded hash — the §3.1 corruption-detection bookkeeping is never
+/// stale. Catches any write path that stores or mutates fragment bytes
+/// without updating the checksum.
+pub struct ChecksumIntegrity;
+
+impl Invariant for ChecksumIntegrity {
+    fn name(&self) -> &'static str {
+        "checksum-integrity"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        for &fs in view.fss {
+            let actor = view.sim.actor::<Fs>(fs);
+            for ov in actor.known_versions() {
+                let entry = actor.entry(ov).expect("known version has an entry");
+                for (&idx, frag) in &entry.fragments {
+                    match entry.checksums.get(&idx) {
+                        None => {
+                            return Err(format!(
+                                "{fs:?} stores fragment {idx} of {ov:?} with no recorded checksum"
+                            ));
+                        }
+                        Some(sum) => {
+                            if *sum != Checksum::of(frag.data()) {
+                                return Err(format!(
+                                    "{fs:?} stores fragment {idx} of {ov:?} whose bytes \
+                                     mismatch its recorded checksum"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 5: traffic accounting is sane.
+// ---------------------------------------------------------------------------
+
+/// The metrics and trace agree with each other and with causality: counters
+/// only grow, drops never exceed sends, per-kind totals sum to the grand
+/// totals, and (when tracing is on) the trace records exactly one event per
+/// send with drop dispositions matching the drop counter.
+pub struct MetricsSanity {
+    prev_total: u64,
+    prev_bytes: u64,
+    prev_dropped: u64,
+    prev_duplicated: u64,
+    /// Trace prefix already validated (the trace is append-only).
+    trace_seen: usize,
+    trace_dropped: u64,
+}
+
+impl MetricsSanity {
+    /// Creates the invariant with zeroed counters.
+    pub fn new() -> Self {
+        MetricsSanity {
+            prev_total: 0,
+            prev_bytes: 0,
+            prev_dropped: 0,
+            prev_duplicated: 0,
+            trace_seen: 0,
+            trace_dropped: 0,
+        }
+    }
+}
+
+impl Default for MetricsSanity {
+    fn default() -> Self {
+        MetricsSanity::new()
+    }
+}
+
+impl Invariant for MetricsSanity {
+    fn name(&self) -> &'static str {
+        "metrics-sanity"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        let m = view.sim.metrics();
+        let total = m.total_count();
+        let bytes = m.total_bytes();
+        if total < self.prev_total || bytes < self.prev_bytes {
+            return Err(format!(
+                "send counters regressed: {} -> {} messages, {} -> {} bytes",
+                self.prev_total, total, self.prev_bytes, bytes
+            ));
+        }
+        if m.dropped() < self.prev_dropped || m.duplicated() < self.prev_duplicated {
+            return Err("drop/duplicate counters regressed".to_string());
+        }
+        if m.dropped() > total {
+            return Err(format!(
+                "{} messages dropped but only {} ever sent",
+                m.dropped(),
+                total
+            ));
+        }
+        let (kind_count, kind_bytes) = m
+            .iter()
+            .fold((0u64, 0u64), |(c, b), (_, s)| (c + s.count, b + s.bytes));
+        if kind_count != total || kind_bytes != bytes {
+            return Err(format!(
+                "per-kind totals ({kind_count} msgs, {kind_bytes} B) disagree with grand \
+                 totals ({total} msgs, {bytes} B)"
+            ));
+        }
+        if let Some(trace) = view.sim.trace() {
+            if trace.len() != total as usize {
+                return Err(format!(
+                    "trace records {} events but {} messages were sent",
+                    trace.len(),
+                    total
+                ));
+            }
+            for ev in &trace.events()[self.trace_seen..] {
+                if ev.disposition != Disposition::Delivered {
+                    self.trace_dropped += 1;
+                }
+            }
+            self.trace_seen = trace.len();
+            if self.trace_dropped != m.dropped() {
+                return Err(format!(
+                    "trace shows {} dropped messages, metrics count {}",
+                    self.trace_dropped,
+                    m.dropped()
+                ));
+            }
+        }
+        self.prev_total = total;
+        self.prev_bytes = bytes;
+        self.prev_dropped = m.dropped();
+        self.prev_duplicated = m.duplicated();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 6: durability never regresses.
+// ---------------------------------------------------------------------------
+
+/// Once a version is durable (≥ `k` distinct fragments stored), it stays
+/// durable. Message-level faults cannot destroy stored fragments, so any
+/// shrink of the durable set means an actor deleted fragments it should
+/// have kept. Like [`AckedDurability`], not applicable to runs that
+/// destroy disks.
+pub struct DurableMonotone {
+    durable: BTreeSet<ObjectVersion>,
+}
+
+impl DurableMonotone {
+    /// Creates the invariant with an empty durable set.
+    pub fn new() -> Self {
+        DurableMonotone {
+            durable: BTreeSet::new(),
+        }
+    }
+}
+
+impl Default for DurableMonotone {
+    fn default() -> Self {
+        DurableMonotone::new()
+    }
+}
+
+impl Invariant for DurableMonotone {
+    fn name(&self) -> &'static str {
+        "durable-monotone"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        let now = analysis::durable_versions(view.sim, view.fss);
+        if let Some(lost) = self.durable.difference(&now).next() {
+            return Err(format!(
+                "version {lost:?} was durable earlier in the run but is not anymore"
+            ));
+        }
+        self.durable = now;
+        Ok(())
+    }
+}
+
+/// The full registry: every invariant the explorer checks, in reporting
+/// order.
+pub fn registry() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(AckedDurability::new()),
+        Box::new(QuiescentAmr),
+        Box::new(NoResurrection::new()),
+        Box::new(ChecksumIntegrity),
+        Box::new(MetricsSanity::new()),
+        Box::new(DurableMonotone::new()),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// The checker: registry + inspector plumbing.
+// ---------------------------------------------------------------------------
+
+struct StaticCtx {
+    topo: Arc<Topology>,
+    fss: Vec<NodeId>,
+    klss: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    value_len: usize,
+    policy: Policy,
+}
+
+impl StaticCtx {
+    fn view<'a>(&'a self, sim: &'a Simulation<Message>) -> ClusterView<'a> {
+        ClusterView {
+            sim,
+            topo: &self.topo,
+            fss: &self.fss,
+            klss: &self.klss,
+            clients: &self.clients,
+            value_len: self.value_len,
+            policy: self.policy,
+        }
+    }
+}
+
+struct CheckerState {
+    invariants: Vec<Box<dyn Invariant>>,
+    ctx: StaticCtx,
+    violation: Option<Violation>,
+}
+
+impl CheckerState {
+    fn check_event(&mut self, sim: &Simulation<Message>) {
+        if self.violation.is_some() {
+            return; // first violation wins; keep the run cheap afterwards
+        }
+        let view = self.ctx.view(sim);
+        for inv in &mut self.invariants {
+            if let Err(detail) = inv.check_event(&view) {
+                self.violation = Some(Violation {
+                    invariant: inv.name(),
+                    events_processed: sim.events_processed(),
+                    sim_time: sim.now(),
+                    detail,
+                });
+                return;
+            }
+        }
+    }
+
+    fn check_final(&mut self, sim: &Simulation<Message>, outcome: RunOutcome) {
+        if self.violation.is_some() {
+            return;
+        }
+        let view = self.ctx.view(sim);
+        for inv in &mut self.invariants {
+            if let Err(detail) = inv.check_final(&view, outcome) {
+                self.violation = Some(Violation {
+                    invariant: inv.name(),
+                    events_processed: u64::MAX,
+                    sim_time: sim.now(),
+                    detail,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Owns a registry of invariants installed as a simulation inspector, and
+/// collects the first violation any of them reports.
+pub struct Checker {
+    state: Rc<RefCell<CheckerState>>,
+}
+
+impl Checker {
+    /// Installs `invariants` as an inspector on `cluster`'s simulation.
+    /// Every invariant's [`check_event`](Invariant::check_event) runs after
+    /// each subsequent simulation event; call
+    /// [`finish`](Checker::finish) when the run ends to run the final
+    /// checks and retrieve the verdict.
+    pub fn install(cluster: &mut Cluster, invariants: Vec<Box<dyn Invariant>>) -> Checker {
+        let ctx = StaticCtx {
+            topo: Arc::clone(cluster.topology()),
+            fss: cluster.topology().all_fss().collect(),
+            klss: cluster.topology().all_klss().collect(),
+            clients: cluster.client_ids(),
+            value_len: cluster.config().workload_value_len,
+            policy: cluster.config().policy,
+        };
+        let state = Rc::new(RefCell::new(CheckerState {
+            invariants,
+            ctx,
+            violation: None,
+        }));
+        let hook = Rc::clone(&state);
+        cluster
+            .sim_mut()
+            .set_inspector(move |sim| hook.borrow_mut().check_event(sim));
+        Checker { state }
+    }
+
+    /// Installs the [full registry](registry) on `cluster`.
+    pub fn install_registry(cluster: &mut Cluster) -> Checker {
+        Checker::install(cluster, registry())
+    }
+
+    /// Runs every invariant's end-of-run check and returns the first
+    /// violation observed anywhere in the run, if any.
+    pub fn finish(self, cluster: &Cluster, outcome: RunOutcome) -> Option<Violation> {
+        self.state.borrow_mut().check_final(cluster.sim(), outcome);
+        let state = self.state.borrow();
+        state.violation.clone()
+    }
+
+    /// The first violation observed so far, without ending the run.
+    pub fn violation(&self) -> Option<Violation> {
+        self.state.borrow().violation.clone()
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! Correctness tooling for the Pahoehoe reproduction.
+//!
+//! Two pillars, corresponding to the two binaries this crate ships:
+//!
+//! 1. **Invariant-checking model checker** (`cargo run -p check --bin
+//!    explore`). The [`invariants`] module defines the protocol properties
+//!    the paper claims (durability of acknowledged puts, convergence to
+//!    AMR, no resurrection of abandoned versions, checksum integrity,
+//!    metrics sanity) as an extensible registry checked after **every**
+//!    simulation event via [`simnet::Simulation::set_inspector`]. The
+//!    [`explorer`] module sweeps seeds × fault plans × all six
+//!    [`ConvergenceOptions`](pahoehoe::ConvergenceOptions) presets,
+//!    shrinks any violating run to a minimal `(seed, faults, options)`
+//!    triple and dumps its message trace.
+//!
+//! 2. **Determinism lint** (`cargo run -p check --bin lint`). The [`lint`]
+//!    module is a token-level Rust source scanner flagging constructs that
+//!    undermine seeded-simulation reproducibility: hash-ordered
+//!    collections in actor state, wall clocks, ambient RNGs, thread
+//!    spawning and floating-point map keys. `// lint:allow(<rule>)`
+//!    suppresses a finding where the hazard is deliberate and safe.
+
+pub mod explorer;
+pub mod invariants;
+pub mod lint;

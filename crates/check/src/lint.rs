@@ -1,0 +1,572 @@
+//! Determinism lint: a token-level scanner for simulation-hostile code.
+//!
+//! The whole point of `simnet` is that a run is a pure function of its
+//! seed. A handful of std constructs silently break that property when
+//! they leak into actor code, and none of them is caught by the compiler:
+//!
+//! * `HashMap`/`HashSet` — iteration order varies across runs (randomized
+//!   SipHash keys), so any protocol decision derived from iterating one is
+//!   nondeterministic. Actor state must use `BTreeMap`/`BTreeSet`.
+//! * `SystemTime` / `Instant` — wall clocks. Actors must use the virtual
+//!   clock ([`Context::now`](simnet::Context::now)).
+//! * `thread_rng` / `rand::random` — ambient OS-seeded randomness. Actors
+//!   must draw from the simulation's seeded RNG
+//!   ([`Context::rng`](simnet::Context::rng)).
+//! * `std::thread::spawn` — free-running concurrency whose interleaving
+//!   the event queue cannot replay.
+//! * `f32`/`f64` map or set keys — NaN breaks `Ord`, and float summation
+//!   order then depends on map iteration order.
+//!
+//! The scanner lexes each file just enough to be trustworthy — comments,
+//! (raw) string literals and char literals are stripped before matching,
+//! so prose and test fixtures never trigger findings — and it walks
+//! `crates/*/src` only, skipping `vendor/` and generated code. A finding
+//! on a line where the hazard is deliberate and safe is suppressed with
+//! `// lint:allow(<rule>)` on the same or the preceding line.
+//!
+//! No external dependencies: the lexer is ~100 lines of hand-rolled state
+//! machine, which is all this job needs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule set: `(name, what it flags and why)`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hash-collections",
+        "HashMap/HashSet: iteration order is randomized per process; use BTreeMap/BTreeSet in \
+         simulation-visible state",
+    ),
+    (
+        "wall-clock",
+        "SystemTime/Instant: wall clocks diverge between runs; use the simulation's virtual clock",
+    ),
+    (
+        "ambient-rng",
+        "thread_rng()/rand::random(): OS-seeded randomness is unreproducible; draw from the \
+         simulation's seeded RNG",
+    ),
+    (
+        "thread-spawn",
+        "std::thread::spawn: free-running threads interleave nondeterministically with the \
+         event queue",
+    ),
+    (
+        "float-key",
+        "f32/f64 map or set keys: NaN breaks ordering and float key order perturbs iteration",
+    ),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (of the offending token).
+    pub col: usize,
+    /// Rule name (a key of [`RULES`]).
+    pub rule: &'static str,
+    /// The offending source excerpt.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.excerpt
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing
+// ---------------------------------------------------------------------------
+
+/// Replaces comments, string literals and char literals with spaces
+/// (newlines preserved), so the token scan only ever sees code. Handles
+/// nested block comments, raw strings with arbitrary `#` counts, byte
+/// strings, escapes, and the char-literal/lifetime ambiguity.
+fn strip_noncode(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let n = chars.len();
+
+    // Appends `c` as-is if it's a newline (line structure must survive),
+    // else a space.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                blank(&mut out, chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
+        let raw_start = if c == 'r' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '#') {
+            Some(i + 1)
+        } else if c == 'b'
+            && i + 2 < n
+            && chars[i + 1] == 'r'
+            && (chars[i + 2] == '"' || chars[i + 2] == '#')
+        {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(mut j) = raw_start {
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                // Blank from `i` through the closing quote+hashes.
+                j += 1; // past the opening quote
+                loop {
+                    if j >= n {
+                        break;
+                    }
+                    if chars[j] == '"'
+                        && chars[j + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                for &ch in &chars[i..j.min(n)] {
+                    blank(&mut out, ch);
+                }
+                i = j;
+                continue;
+            }
+            // `r` not followed by a string: fall through as a normal ident.
+        }
+        // Plain (byte) string.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            if c == 'b' {
+                blank(&mut out, c);
+                i += 1;
+            }
+            blank(&mut out, chars[i]); // opening quote
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = chars[i] == '"';
+                blank(&mut out, chars[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: a char literal closes with `'` within a
+        // couple of chars; a lifetime never does.
+        if c == '\'' {
+            let is_char_lit = if i + 1 < n && chars[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && chars[i + 2] == '\''
+            };
+            if is_char_lit {
+                blank(&mut out, chars[i]); // opening quote
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        blank(&mut out, chars[i]);
+                        blank(&mut out, chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    let done = chars[i] == '\'';
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Lifetime: keep the quote as code (the token scan uses it to
+            // skip lifetime parameters).
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn tokenize(code: &str) -> Vec<Spanned> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = code.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c == '\n' {
+            chars.next();
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            chars.next();
+            col += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let (start_line, start_col) = (line, col);
+            let mut ident = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    ident.push(c);
+                    chars.next();
+                    col += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(ident),
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+        out.push(Spanned {
+            tok: Tok::Punct(c),
+            line,
+            col,
+        });
+        chars.next();
+        col += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn ident(toks: &[Spanned], i: usize) -> Option<&str> {
+    match toks.get(i).map(|s| &s.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct(toks: &[Spanned], i: usize) -> Option<char> {
+    match toks.get(i).map(|s| &s.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Whether token `i` is directly preceded by `prefix ::`.
+fn preceded_by(toks: &[Spanned], i: usize, prefix: &str) -> bool {
+    i >= 3
+        && punct(toks, i - 1) == Some(':')
+        && punct(toks, i - 2) == Some(':')
+        && ident(toks, i - 3) == Some(prefix)
+}
+
+/// After a `Map<`/`Set<` at `open`, returns the first type ident of the key
+/// parameter (skipping `&`, `mut` and lifetimes).
+fn first_type_param(toks: &[Spanned], open: usize) -> Option<&str> {
+    let mut j = open + 1;
+    loop {
+        match toks.get(j).map(|s| &s.tok) {
+            Some(Tok::Punct('&')) => j += 1,
+            Some(Tok::Punct('\'')) => j += 2, // lifetime: quote + name
+            Some(Tok::Punct(',')) => j += 1,  // only reachable after lifetimes
+            Some(Tok::Ident(id)) if id == "mut" => j += 1,
+            Some(Tok::Ident(id)) => return Some(id),
+            _ => return None,
+        }
+    }
+}
+
+fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |i: usize, rule: &'static str| {
+        let sp = &toks[i];
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line: sp.line,
+            col: sp.col,
+            rule,
+            excerpt: src_lines
+                .get(sp.line - 1)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        });
+    };
+    for i in 0..toks.len() {
+        let Some(id) = ident(toks, i) else { continue };
+        match id {
+            "HashMap" | "HashSet" => push(i, "hash-collections"),
+            "SystemTime" | "Instant" => push(i, "wall-clock"),
+            "thread_rng" => push(i, "ambient-rng"),
+            "random" if preceded_by(toks, i, "rand") => push(i, "ambient-rng"),
+            "spawn" if preceded_by(toks, i, "thread") => push(i, "thread-spawn"),
+            _ => {}
+        }
+        if (id.ends_with("Map") || id.ends_with("Set")) && punct(toks, i + 1) == Some('<') {
+            if let Some(key) = first_type_param(toks, i + 1) {
+                if key == "f32" || key == "f64" {
+                    push(i, "float-key");
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// `lint:allow` suppression
+// ---------------------------------------------------------------------------
+
+/// Rules allowed per line: `line -> rule names` parsed from
+/// `lint:allow(rule, rule)` markers anywhere on the line (they live in
+/// comments, so the *raw* source is searched).
+fn allows_by_line(src: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut out: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rules = out.entry(idx + 1).or_default();
+            for rule in rest[..close].split(',') {
+                rules.push(rule.trim().to_string());
+            }
+            rest = &rest[close + 1..];
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Lints one file's source text.
+pub fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
+    let code = strip_noncode(src);
+    let toks = tokenize(&code);
+    let lines: Vec<&str> = src.lines().collect();
+    let allows = allows_by_line(src);
+    let allowed = |line: usize, rule: &str| {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .filter_map(|l| allows.get(l))
+            .any(|rules| rules.iter().any(|r| r == rule))
+    };
+    scan_tokens(&toks, &lines, file)
+        .into_iter()
+        .filter(|f| !allowed(f.line, f.rule))
+        .collect()
+}
+
+/// Lints one file on disk.
+pub fn lint_file(path: &Path) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(lint_source(path, &src))
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// reports.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/*/src/**/*.rs` under the workspace root.
+/// `vendor/` (offline dependency stand-ins) and everything outside `src`
+/// (tests may contain deliberate hazards as fixtures) are out of scope by
+/// construction.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        findings.extend(lint_file(&file)?);
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn flags_each_hazard_class() {
+        let rules = |src: &str| -> Vec<&'static str> {
+            lint_str(src).into_iter().map(|f| f.rule).collect()
+        };
+        assert_eq!(
+            rules("use std::collections::HashMap;"),
+            vec!["hash-collections"]
+        );
+        assert_eq!(rules("let s: HashSet<u32> = x;"), vec!["hash-collections"]);
+        assert_eq!(rules("let t = Instant::now();"), vec!["wall-clock"]);
+        assert_eq!(rules("let t = SystemTime::now();"), vec!["wall-clock"]);
+        assert_eq!(rules("let r = rand::thread_rng();"), vec!["ambient-rng"]);
+        assert_eq!(rules("let x: u8 = rand::random();"), vec!["ambient-rng"]);
+        assert_eq!(rules("std::thread::spawn(|| {});"), vec!["thread-spawn"]);
+        assert_eq!(rules("let m: BTreeMap<f64, u32> = x;"), vec!["float-key"]);
+        assert_eq!(rules("let m: BTreeSet<f32> = x;"), vec!["float-key"]);
+    }
+
+    #[test]
+    fn clean_constructs_pass() {
+        assert!(lint_str("use std::collections::BTreeMap;").is_empty());
+        assert!(
+            lint_str("let m: BTreeMap<u64, f64> = x;").is_empty(),
+            "float value is fine"
+        );
+        assert!(
+            lint_str("scope.spawn(|| {});").is_empty(),
+            "scoped spawn method is fine"
+        );
+        assert!(
+            lint_str("let v = rng.random::<f64>();").is_empty(),
+            "seeded rng is fine"
+        );
+        assert!(lint_str("let t = ctx.now();").is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_ignored() {
+        assert!(lint_str("// HashMap in a comment\n").is_empty());
+        assert!(lint_str("/* nested /* HashMap */ still comment */\n").is_empty());
+        assert!(lint_str("let s = \"HashMap and thread_rng\";").is_empty());
+        assert!(lint_str("let s = r#\"Instant::now() \"quoted\"\"#;").is_empty());
+        assert!(lint_str("let c = 'h'; let l: &'static str = x;").is_empty());
+        assert!(lint_str("let b = b\"SystemTime\";").is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_hide_float_keys() {
+        assert_eq!(
+            lint_str("fn f(m: &RateMap<'a, f64>) {}")[0].rule,
+            "float-key"
+        );
+    }
+
+    #[test]
+    fn allow_suppresses_on_same_and_previous_line() {
+        assert!(
+            lint_str("let m: HashMap<u32, u32> = x; // lint:allow(hash-collections)").is_empty()
+        );
+        assert!(
+            lint_str("// lint:allow(hash-collections)\nlet m: HashMap<u32, u32> = x;").is_empty()
+        );
+        // The wrong rule does not suppress.
+        assert_eq!(
+            lint_str("let m: HashMap<u32, u32> = x; // lint:allow(wall-clock)").len(),
+            1
+        );
+        // An allow two lines up does not suppress.
+        assert_eq!(
+            lint_str("// lint:allow(hash-collections)\n\nlet m: HashMap<u32, u32> = x;").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn findings_carry_position_and_excerpt() {
+        let f = &lint_str("let a = 1;\nlet t = Instant::now();\n")[0];
+        assert_eq!(f.line, 2);
+        assert_eq!(f.col, 9);
+        assert_eq!(f.excerpt, "let t = Instant::now();");
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: every hazard is either suppressed by an allow marker or only
+// mentioned in comments/strings, so this file must lint clean.
+use std::collections::HashMap; // lint:allow(hash-collections)
+
+struct Cache {
+    // lint:allow(hash-collections) membership probes only, never iterated
+    seen: HashMap<u64, u64>,
+}
+
+fn doc() -> &'static str {
+    // Instant::now() and thread_rng() in a comment are fine.
+    "SystemTime::now() and std::thread::spawn in a string are fine too"
+}
+
+fn lifetimes<'a>(m: &'a std::collections::BTreeMap<u64, f64>) -> &'a f64 {
+    m.get(&0).unwrap()
+}

@@ -1,0 +1,7 @@
+// Fixture: ambient (OS-seeded) randomness outside the simulation RNG.
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let _ = &mut rng;
+    x
+}

@@ -1,0 +1,7 @@
+// Fixture: floating-point map keys (NaN breaks Ord/Eq assumptions).
+use std::collections::BTreeMap;
+
+struct Sched {
+    by_score: BTreeMap<f64, u32>,
+    by_rate: std::collections::BTreeMap<f32, Vec<u8>>,
+}

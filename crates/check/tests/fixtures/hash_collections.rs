@@ -1,0 +1,11 @@
+// Fixture: iteration-order-dependent collections in actor code.
+use std::collections::{HashMap, HashSet};
+
+struct Fs {
+    frags: HashMap<u64, Vec<u8>>,
+    peers: HashSet<u32>,
+}
+
+fn rebuild() -> std::collections::HashMap<String, u64> {
+    std::collections::HashMap::new()
+}

@@ -1,0 +1,6 @@
+// Fixture: real concurrency inside the single-threaded simulation.
+fn background() {
+    std::thread::spawn(|| {});
+    let h = std::thread::spawn(move || 42);
+    let _ = h;
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads that desynchronize replays.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

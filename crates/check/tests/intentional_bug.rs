@@ -1,0 +1,92 @@
+//! End-to-end proof that the checker machinery actually detects
+//! violations: a deliberately injected bug (a silent fragment corruption)
+//! must be flagged, shrunk to a minimal repro and traced — both through
+//! the library API and through the `explore` binary's exit status.
+
+use check::explorer::{sweep, FaultSpec, Injection, Preset, SweepConfig, WorkloadCfg};
+
+#[test]
+fn injected_corruption_is_caught_and_shrunk() {
+    let cfg = SweepConfig {
+        seeds: vec![7],
+        // Start from a *faulty* plan so the shrinker has work to do.
+        fault_specs: vec![FaultSpec {
+            drop_centi: 3,
+            dup_centi: 2,
+            outages: vec![],
+        }],
+        presets: vec![Preset::All],
+        workload: WorkloadCfg {
+            puts: 2,
+            value_len: 2048,
+        },
+    };
+    let result = sweep(&cfg, Injection::CorruptFragment, |_, _| {});
+    let report = result.violation.expect("corruption must violate");
+    assert!(
+        matches!(
+            report.violation.invariant,
+            "checksum-integrity" | "acked-durability" | "durable-monotone"
+        ),
+        "unexpected invariant: {}",
+        report.violation.invariant
+    );
+    assert!(
+        report.shrunk.faults.is_clean(),
+        "the bug fires without any network fault, so shrinking must strip them all: {:?}",
+        report.shrunk.faults
+    );
+    assert_eq!(report.shrunk.seed, 7, "seed is preserved");
+    assert_eq!(report.shrunk.preset, Preset::All, "preset is preserved");
+    assert!(!report.trace.is_empty(), "violating run must carry a trace");
+}
+
+#[test]
+fn explore_binary_exits_nonzero_with_repro_and_trace() {
+    let trace_path = std::env::temp_dir().join("check-intentional-bug.trace");
+    let _ = std::fs::remove_file(&trace_path);
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_explore"))
+        .args([
+            "--smoke",
+            "--quiet",
+            "--inject-corruption",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("explore binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "violation must exit 1; stdout:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("INVARIANT VIOLATED"), "stdout: {stdout}");
+    assert!(stdout.contains("shrunk repro"), "stdout: {stdout}");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace dumped");
+    assert!(!trace.is_empty());
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn clean_mini_sweep_reports_no_violation() {
+    let cfg = SweepConfig {
+        seeds: vec![0, 1],
+        fault_specs: SweepConfig::fault_pool().into_iter().take(2).collect(),
+        presets: vec![Preset::Naive, Preset::All],
+        workload: WorkloadCfg {
+            puts: 2,
+            value_len: 2048,
+        },
+    };
+    let mut seen = 0;
+    let result = sweep(&cfg, Injection::None, |_, outcome| {
+        seen += 1;
+        assert!(outcome.events > 0);
+    });
+    assert!(result.violation.is_none());
+    assert_eq!(result.scenarios_run, 8);
+    assert_eq!(seen, 8);
+    assert!(result.events_checked > 0);
+}

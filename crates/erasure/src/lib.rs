@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Systematic Reed-Solomon erasure coding over GF(2⁸), built from scratch.
 //!

@@ -317,7 +317,11 @@ mod tests {
 
     /// One-seed miniature for fast structural checks.
     fn mini() -> FigureOptions {
-        FigureOptions { seeds: 1, puts: 5, value_len: 4 * 1024 }
+        FigureOptions {
+            seeds: 1,
+            puts: 5,
+            value_len: 4 * 1024,
+        }
     }
 
     #[test]
@@ -329,13 +333,18 @@ mod tests {
         // Recovery traffic appears once failures do.
         let zero = &results[0];
         assert_eq!(
-            zero.kind_counts.get("RetrieveFragReq").map_or(0.0, |s| s.mean),
+            zero.kind_counts
+                .get("RetrieveFragReq")
+                .map_or(0.0, |s| s.mean),
             0.0
         );
         let one_putamr = &results[1];
         assert!(one_putamr.label.starts_with("1-"));
         assert!(
-            one_putamr.kind_counts.get("RetrieveFragReq").is_some_and(|s| s.mean > 0.0),
+            one_putamr
+                .kind_counts
+                .get("RetrieveFragReq")
+                .is_some_and(|s| s.mean > 0.0),
             "failures force fragment retrievals"
         );
         // Without sibling recovery, retrieval work grows with the number

@@ -1,9 +1,9 @@
 //! Parallel multi-seed trial execution and aggregation.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use pahoehoe::cluster::{Cluster, ConvergenceReport};
-use parking_lot::Mutex;
 use simnet::RunOutcome;
 use stats::{Accumulator, Summary};
 
@@ -24,11 +24,11 @@ where
         .unwrap_or(4)
         .min(seeds.len().max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = {
-                    let mut n = next.lock();
+                    let mut n = next.lock().expect("queue lock poisoned");
                     if *n >= seeds.len() {
                         return;
                     }
@@ -38,14 +38,14 @@ where
                 };
                 let mut cluster = build(seeds[idx]);
                 let report = cluster.run_to_convergence();
-                results.lock()[idx] = Some(report);
+                results.lock().expect("results lock poisoned")[idx] = Some(report);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("results lock poisoned")
         .into_iter()
         .map(|r| r.expect("every seed produced a report"))
         .collect()

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Pahoehoe: an eventually consistent, erasure-coded key-blob archive.
 //!

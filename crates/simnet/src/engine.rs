@@ -7,6 +7,8 @@
 
 use std::any::Any;
 use std::cmp::Ordering;
+// The timer set is only probed and mutated, never iterated, so hash
+// iteration order cannot leak into a run. lint:allow(hash-collections)
 use std::collections::{BinaryHeap, HashSet};
 
 use rand::rngs::StdRng;
@@ -77,7 +79,11 @@ struct Inner<M> {
     network: NetworkConfig,
     faults: FaultPlan,
     metrics: Metrics,
-    cancelled: HashSet<TimerId>,
+    /// Timers scheduled but not yet fired or cancelled. A timer fires only
+    /// while its id is in this set, so cancellation is O(1) and cancelling
+    /// an already-fired timer leaves no residue behind. Never iterated —
+    /// membership tests only — so the hash order is unobservable.
+    live_timers: HashSet<TimerId>, // lint:allow(hash-collections)
     trace: Option<Trace>,
 }
 
@@ -92,6 +98,7 @@ impl<M: Payload> Inner<M> {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
         let at = self.now + delay;
+        self.live_timers.insert(id);
         self.push(at, node, EventKind::Timer { id, tag });
         id
     }
@@ -181,7 +188,7 @@ impl<M: Payload> Context<'_, M> {
     /// Cancels a previously scheduled timer. Cancelling a timer that
     /// already fired (or was already cancelled) is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.inner.cancelled.insert(id);
+        self.inner.live_timers.remove(&id);
     }
 
     /// The simulation's seeded random number generator.
@@ -189,6 +196,10 @@ impl<M: Payload> Context<'_, M> {
         &mut self.inner.rng
     }
 }
+
+/// An observation hook invoked after every processed event with a shared
+/// borrow of the whole simulation. See [`Simulation::set_inspector`].
+pub type Inspector<M> = Box<dyn FnMut(&Simulation<M>)>;
 
 /// A deterministic discrete-event simulation over actors exchanging
 /// messages of type `M`.
@@ -200,6 +211,7 @@ pub struct Simulation<M: Payload> {
     started: bool,
     events_processed: u64,
     event_limit: u64,
+    inspector: Option<Inspector<M>>,
 }
 
 impl<M: Payload> Simulation<M> {
@@ -222,13 +234,34 @@ impl<M: Payload> Simulation<M> {
                 network,
                 faults,
                 metrics: Metrics::new(),
-                cancelled: HashSet::new(),
+                live_timers: HashSet::new(), // lint:allow(hash-collections)
                 trace: None,
             },
             started: false,
             events_processed: 0,
             event_limit: u64::MAX,
+            inspector: None,
         }
+    }
+
+    /// Installs an observation hook that runs after **every** processed
+    /// event (message delivery or timer firing) with a shared borrow of the
+    /// simulation, after the acting actor has been returned to its slot.
+    ///
+    /// The hook sees a fully consistent simulation — every
+    /// [`try_actor`](Self::try_actor) accessor, [`metrics`](Self::metrics),
+    /// [`trace`](Self::trace) — which makes it the natural seam for
+    /// invariant checkers: panic (or record and inspect later) the moment a
+    /// protocol property is violated, rather than only at quiescence.
+    /// Replaces any previously installed inspector.
+    pub fn set_inspector(&mut self, inspector: impl FnMut(&Simulation<M>) + 'static) {
+        self.inspector = Some(Box::new(inspector));
+    }
+
+    /// Removes the observation hook installed by
+    /// [`set_inspector`](Self::set_inspector), if any.
+    pub fn clear_inspector(&mut self) {
+        self.inspector = None;
     }
 
     /// Caps the total number of events this simulation will process; a run
@@ -293,6 +326,13 @@ impl<M: Payload> Simulation<M> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Number of timers currently scheduled and neither fired nor
+    /// cancelled. Cancelled and fired timers leave no bookkeeping behind,
+    /// so at quiescence this is zero.
+    pub fn pending_timers(&self) -> usize {
+        self.inner.live_timers.len()
     }
 
     /// Borrows the actor at `id`, downcast to its concrete type.
@@ -375,7 +415,7 @@ impl<M: Payload> Simulation<M> {
             // Skip cancelled timers without counting them as events.
             while let Some(ev) = self.inner.queue.peek() {
                 if let EventKind::Timer { id, .. } = &ev.kind {
-                    if self.inner.cancelled.remove(id) {
+                    if !self.inner.live_timers.contains(id) {
                         self.inner.queue.pop();
                         continue;
                     }
@@ -403,6 +443,9 @@ impl<M: Payload> Simulation<M> {
             debug_assert!(ev.at >= self.inner.now, "time went backwards");
             self.inner.now = ev.at;
             self.events_processed += 1;
+            if let EventKind::Timer { id, .. } = &ev.kind {
+                self.inner.live_timers.remove(id);
+            }
 
             let slot = ev.to.index();
             let mut actor = self.actors[slot]
@@ -419,6 +462,13 @@ impl<M: Payload> Simulation<M> {
                 }
             }
             self.actors[slot] = Some(actor);
+
+            // The inspector borrows the whole simulation, so take it out of
+            // its slot for the duration of the call.
+            if let Some(mut inspector) = self.inspector.take() {
+                inspector(self);
+                self.inspector = Some(inspector);
+            }
 
             if pred(self) {
                 return RunOutcome::PredicateSatisfied;
@@ -507,8 +557,6 @@ mod tests {
             pongs: 0,
             last_pong_at: SimTime::ZERO,
         });
-        // Fix the peer id (added after): rebuild with correct order instead.
-        let _ = pinger;
         (sim, pinger)
     }
 
@@ -676,6 +724,66 @@ mod tests {
         sim.run_until_quiescent();
         let b: &TimerBox = sim.actor(id);
         assert_eq!(b.fired, vec![1, 3], "tag 2 cancelled, order preserved");
+    }
+
+    #[test]
+    fn cancelled_and_fired_timers_leave_no_bookkeeping() {
+        struct Canceller {
+            kept: Option<TimerId>,
+        }
+        impl Actor<Msg> for Canceller {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                // One timer fires; one is cancelled before firing; and the
+                // fired one is cancelled again afterwards (a no-op).
+                self.kept = Some(ctx.schedule_timer(SimDuration::from_millis(1), 1));
+                let doomed = ctx.schedule_timer(SimDuration::from_millis(2), 2);
+                ctx.cancel_timer(doomed);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+                assert_eq!(tag, 1, "cancelled timer must not fire");
+                let id = self.kept.expect("set in on_start");
+                ctx.cancel_timer(id); // already fired: must not leak
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(11);
+        sim.add_actor(Canceller { kept: None });
+        assert_eq!(sim.run_until_quiescent(), RunOutcome::Quiescent);
+        assert_eq!(sim.pending_timers(), 0, "no timer bookkeeping survives");
+    }
+
+    #[test]
+    fn inspector_sees_every_event() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let observed = Rc::new(Cell::new(0u64));
+        let max_pongs = Rc::new(Cell::new(0u32));
+        let mut sim = Simulation::new(7);
+        let ponger = sim.add_actor(Ponger);
+        let pinger = sim.add_actor(Pinger {
+            peer: ponger,
+            rounds: 10,
+            pongs: 0,
+            last_pong_at: SimTime::ZERO,
+        });
+        let obs = Rc::clone(&observed);
+        let pongs = Rc::clone(&max_pongs);
+        sim.set_inspector(move |s| {
+            obs.set(obs.get() + 1);
+            assert_eq!(s.events_processed(), obs.get(), "runs after each event");
+            pongs.set(s.actor::<Pinger>(pinger).pongs);
+        });
+        sim.run_until_quiescent();
+        assert_eq!(observed.get(), sim.events_processed());
+        assert_eq!(max_pongs.get(), 10, "inspector observes actor state");
+        sim.clear_inspector();
     }
 
     #[test]

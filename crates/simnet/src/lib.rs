@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Deterministic discrete-event network simulator.
 //!
@@ -61,7 +62,7 @@ pub mod time;
 pub mod trace;
 
 pub use actor::Actor;
-pub use engine::{Context, RunOutcome, Simulation, TimerId};
+pub use engine::{Context, Inspector, RunOutcome, Simulation, TimerId};
 pub use metrics::{KindStats, Metrics};
 pub use network::{FaultPlan, LatencyOverride, NetworkConfig};
 pub use node::NodeId;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, clippy (warnings are errors), tests, the
+# determinism lint, and an explorer smoke sweep that model-checks the
+# protocol invariants. Run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> determinism lint"
+cargo run -p check --bin lint
+
+echo "==> invariant explorer (smoke sweep)"
+cargo run -p check --release --bin explore -- --smoke
+
+echo "CI green."

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], an immutable, cheaply cloneable byte buffer backed
+//! by `Arc<[u8]>` — the subset of the real crate's API this workspace
+//! uses. Cloning is a reference-count bump, which is what the simulator
+//! relies on when fanning a fragment out to many actors.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied; the real crate borrows, but nothing
+    /// here depends on that optimization).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// A new buffer holding `self[range]`.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes {
+            data: self.data[start..end].into(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from_static(v)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(v: &'static [u8; N]) -> Self {
+        Bytes::from_static(v)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes {
+            data: v.into_bytes().into(),
+        }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.data == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == &*other.data
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &*self.data == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr(), "shared storage");
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let a = Bytes::from(vec![9, 8, 7]);
+        assert_eq!(a[0], 9);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.to_vec(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn slice_ranges() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4]);
+        assert_eq!(a.slice(1..3).to_vec(), vec![1, 2]);
+        assert_eq!(a.slice(..).to_vec(), a.to_vec());
+        assert_eq!(a.slice(3..).to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn from_static_and_comparisons() {
+        let a = Bytes::from_static(b"hi");
+        assert_eq!(a, b"hi".to_vec());
+        assert_eq!(a, &b"hi"[..]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert*` / `prop_assume!`, value
+//! strategies for primitives, ranges, tuples, simple regex-class strings,
+//! `collection::vec`, `sample::subsequence`, `Just`, `prop_map` and
+//! `prop_flat_map`, plus a deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failure reports the generated inputs, case number
+//!   and per-test seed instead of a minimized counterexample;
+//! * generation is derandomized: each test function derives its stream
+//!   from a hash of its name (override with `PROPTEST_SEED`), so CI runs
+//!   are reproducible;
+//! * `PROPTEST_CASES` overrides the case count, as in real proptest.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod num {
+    //! Numeric strategy helpers (range strategies live on the std range
+    //! types themselves, as in real proptest).
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..9, b in 10u64..=20, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((10..=20).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn any_and_typed_params(x: u8, y: bool, _z: u64) {
+            let _ = y;
+            prop_assert!(u16::from(x) <= 255);
+        }
+
+        #[test]
+        fn tuples_maps_and_flat_maps(
+            (k, n) in (1usize..=6).prop_flat_map(|k| (Just(k), k..=12)),
+            v in crate::collection::vec(any::<u8>(), 0..50),
+        ) {
+            prop_assert!(k <= n && n <= 12);
+            prop_assert!(v.len() < 50);
+        }
+
+        #[test]
+        fn string_regex_classes(s in "[a-z]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn subsequences_preserve_order(
+            rows in crate::sample::subsequence((0usize..12).collect::<Vec<_>>(), 4),
+        ) {
+            prop_assert_eq!(rows.len(), 4);
+            prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_block_form_works(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..=255) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,41 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for order-preserving subsequences of a base vector.
+pub struct Subsequence<T> {
+    base: Vec<T>,
+    size: usize,
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        // Choose `size` distinct indices by partial Fisher–Yates, then
+        // emit the chosen elements in their original order.
+        let n = self.base.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..self.size {
+            let j = rng.rng().random_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut chosen = idx[..self.size].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.base[i].clone()).collect()
+    }
+}
+
+/// A strategy picking subsequences of exactly `size` elements of `base`,
+/// preserving their relative order.
+pub fn subsequence<T: Clone + Debug>(base: Vec<T>, size: usize) -> Subsequence<T> {
+    assert!(
+        size <= base.len(),
+        "subsequence size {size} exceeds base length {}",
+        base.len()
+    );
+    Subsequence { base, size }
+}

@@ -1,0 +1,132 @@
+//! Tiny regex-subset string generation for `&str` strategies.
+//!
+//! Supports what this workspace's tests use: concatenations of literal
+//! characters and character classes `[a-z0-9_]`, each optionally repeated
+//! with `{n}`, `{m,n}`, `*`, `+` or `?`. Anything fancier panics loudly
+//! so a future test author knows to extend it.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 2;
+                Atom::Literal(*chars.get(i - 1).expect("dangling escape"))
+            }
+            c if "(){}|.^$*+?".contains(c) => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed repetition in {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("repetition lower bound"),
+                            hi.trim().parse().expect("repetition upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.rng().random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    // Weight ranges by size so [a-z0] is near-uniform.
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                        .sum();
+                    let mut pick = rng.rng().random_range(0..total);
+                    for &(lo, hi) in ranges {
+                        let span = hi as u32 - lo as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick).expect("valid char"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,288 @@
+//! Deterministic case runner plus the `proptest!`/`prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (the subset of real proptest's this workspace
+/// sets: `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!`) tolerated across the run
+    /// before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the run fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; draw fresh ones.
+    Reject,
+}
+
+/// Result type the generated test closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies. Wraps the vendored [`StdRng`] so
+/// strategy code is insulated from the generator choice.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `case` up to `config.cases` times with deterministic per-case
+/// RNGs; panics with a reproduction message on the first failure.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base_seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| hash_name(test_name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut draw = 0u64;
+    while passed < config.cases {
+        let case_seed = base_seed ^ draw.wrapping_mul(0x9E3779B97F4A7C15);
+        draw += 1;
+        let mut rng = TestRng {
+            inner: StdRng::seed_from_u64(case_seed),
+        };
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {test_name}: too many prop_assume! rejections \
+                         ({rejected}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest failed: {test_name}, case {passed} \
+                     (case seed {case_seed}, PROPTEST_SEED={base_seed}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// `proptest! { ... }`: wraps property functions into `#[test]` items.
+///
+/// Supports the two parameter forms of real proptest —
+/// `name: Type` (full-domain [`any`](crate::arbitrary::any)) and
+/// `pattern in strategy` — and an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: splits a `proptest!` body into per-function expansions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$(#[$attr])*] fn $name [] ($($params)*) $body
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: munches the parameter list into `(pattern, strategy)` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // `ident: Type` — full-domain strategy. (Tried first: a lone ident
+    // also parses as a pattern, so the `in` arms must not shadow this.)
+    (($cfg:expr) [$($attrs:tt)*] fn $name:ident [$($acc:tt)*]
+     ($pname:ident : $pty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($attrs)*] fn $name
+            [$($acc)* ($pname, $crate::arbitrary::any::<$pty>())]
+            ($($rest)*) $body
+        }
+    };
+    (($cfg:expr) [$($attrs:tt)*] fn $name:ident [$($acc:tt)*]
+     ($pname:ident : $pty:ty) $body:block) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($attrs)*] fn $name
+            [$($acc)* ($pname, $crate::arbitrary::any::<$pty>())]
+            () $body
+        }
+    };
+    // `pattern in strategy`.
+    (($cfg:expr) [$($attrs:tt)*] fn $name:ident [$($acc:tt)*]
+     ($pat:pat in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($attrs)*] fn $name [$($acc)* ($pat, $strat)] ($($rest)*) $body
+        }
+    };
+    (($cfg:expr) [$($attrs:tt)*] fn $name:ident [$($acc:tt)*]
+     ($pat:pat in $strat:expr) $body:block) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($attrs)*] fn $name [$($acc)* ($pat, $strat)] () $body
+        }
+    };
+    // Done: emit the test.
+    (($cfg:expr) [$($attrs:tt)*] fn $name:ident
+     [$(($pat:pat, $strat:expr))*] () $body:block) => {
+        $($attrs)*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    let __proptest_values = (
+                        $($crate::strategy::Strategy::generate(&($strat), __proptest_rng),)*
+                    );
+                    let __proptest_dbg = ::std::format!("{:#?}", __proptest_values);
+                    #[allow(unused_variables)]
+                    let ($($pat,)*) = __proptest_values;
+                    let __proptest_result: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __proptest_result {
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(::std::format!(
+                                "{msg}\ninputs: {}", __proptest_dbg
+                            )),
+                        ),
+                        other => other,
+                    }
+                },
+            );
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($a), stringify!($b), a, b, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($a), stringify!($b), a, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assume!(cond)`: rejects the current inputs without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
