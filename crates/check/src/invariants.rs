@@ -103,6 +103,10 @@ pub struct AckedDurability {
     expected: BTreeMap<ObjectVersion, Vec<Fragment>>,
     /// Versions whose decode path has already been exercised.
     decoded: BTreeSet<ObjectVersion>,
+    /// Reusable scratch for the once-per-version decode check (the
+    /// invariant runs after every simulation event, so its allocations are
+    /// on the sweep's hot path).
+    decode_scratch: Vec<u8>,
 }
 
 impl AckedDurability {
@@ -112,6 +116,7 @@ impl AckedDurability {
             codec: None,
             expected: BTreeMap::new(),
             decoded: BTreeSet::new(),
+            decode_scratch: Vec::new(),
         }
     }
 
@@ -169,13 +174,16 @@ impl Invariant for AckedDurability {
             }
             if self.decoded.insert(ov) {
                 let subset: Vec<Fragment> = distinct.into_values().take(k).collect();
+                let mut decoded = std::mem::take(&mut self.decode_scratch);
                 let codec = self.codec.as_ref().expect("codec built above");
-                let decoded = codec
-                    .decode(&subset, view.value_len)
+                codec
+                    .decode_into(&subset, view.value_len, &mut decoded)
                     .map_err(|e| format!("ACKed {ov:?}: k fragments failed to decode: {e:?}"))?;
                 let expected =
                     Client::synthetic_value(ov.key.as_u64().wrapping_sub(1), view.value_len);
-                if decoded != expected.as_ref() {
+                let matches = decoded == expected.as_ref();
+                self.decode_scratch = decoded;
+                if !matches {
                     return Err(format!(
                         "ACKed {ov:?}: k fragments decoded to the wrong blob"
                     ));

@@ -17,6 +17,12 @@
 //! * `f32`/`f64` map or set keys — NaN breaks `Ord`, and float summation
 //!   order then depends on map iteration order.
 //!
+//! One rule guards performance rather than determinism: functions preceded
+//! by a standalone `// lint:hot` marker line are declared allocation-free
+//! hot paths (codec inner loops), and `to_vec()` / `Vec::new` inside them
+//! is flagged (`hot-path-alloc`) — per-call allocations are exactly what
+//! the `_into` codec APIs exist to avoid.
+//!
 //! The scanner lexes each file just enough to be trustworthy — comments,
 //! (raw) string literals and char literals are stripped before matching,
 //! so prose and test fixtures never trigger findings — and it walks
@@ -55,6 +61,11 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "float-key",
         "f32/f64 map or set keys: NaN breaks ordering and float key order perturbs iteration",
+    ),
+    (
+        "hot-path-alloc",
+        "to_vec()/Vec::new inside a function marked hot: declared allocation-free hot paths \
+         must write into caller-owned scratch",
     ),
 ];
 
@@ -349,7 +360,50 @@ fn first_type_param(toks: &[Spanned], open: usize) -> Option<&str> {
     }
 }
 
+/// Token ranges `[start, end)` of the bodies of functions marked hot: a
+/// standalone `// lint:hot` line applies to the next `fn` below it. The
+/// marker must begin the (trimmed) line, so mentions in strings, trailing
+/// comments, or docs never open a span.
+fn hot_fn_spans(toks: &[Spanned], src_lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for marker_line in src_lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with("// lint:hot"))
+        .map(|(i, _)| i + 1)
+    {
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|s| s.line > marker_line && matches!(&s.tok, Tok::Ident(id) if id == "fn"))
+        else {
+            continue;
+        };
+        let Some(open) = (fn_idx..toks.len()).find(|&j| punct(toks, j) == Some('{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = toks.len();
+        for j in open..toks.len() {
+            match punct(toks, j) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.push((open, end));
+    }
+    spans
+}
+
 fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding> {
+    let hot = hot_fn_spans(toks, src_lines);
+    let in_hot = |i: usize| hot.iter().any(|&(s, e)| i >= s && i < e);
     let mut findings = Vec::new();
     let mut push = |i: usize, rule: &'static str| {
         let sp = &toks[i];
@@ -372,6 +426,8 @@ fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding
             "thread_rng" => push(i, "ambient-rng"),
             "random" if preceded_by(toks, i, "rand") => push(i, "ambient-rng"),
             "spawn" if preceded_by(toks, i, "thread") => push(i, "thread-spawn"),
+            "to_vec" if in_hot(i) && punct(toks, i + 1) == Some('(') => push(i, "hot-path-alloc"),
+            "new" if in_hot(i) && preceded_by(toks, i, "Vec") => push(i, "hot-path-alloc"),
             _ => {}
         }
         if (id.ends_with("Map") || id.ends_with("Set")) && punct(toks, i + 1) == Some('<') {
@@ -540,6 +596,38 @@ mod tests {
             lint_str("fn f(m: &RateMap<'a, f64>) {}")[0].rule,
             "float-key"
         );
+    }
+
+    #[test]
+    fn hot_marker_flags_allocations_in_next_fn_only() {
+        // The markers here sit mid-line inside string literals, so no line
+        // of THIS file starts with one (the workspace lint scans lint.rs
+        // itself and must stay clean).
+        let src = "// lint:hot\nfn f(d: &[u8]) -> Vec<u8> { d.to_vec() }\n";
+        let findings = lint_str(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "hot-path-alloc");
+
+        let src = "// lint:hot\nfn f() { let v: Vec<u8> = Vec::new(); }\n";
+        assert_eq!(lint_str(src)[0].rule, "hot-path-alloc");
+
+        // The span ends at the function's closing brace.
+        let src = "// lint:hot\nfn f(d: &mut [u8]) { d[0] ^= 1; }\nfn g(d: &[u8]) -> Vec<u8> { d.to_vec() }\n";
+        assert!(lint_str(src).is_empty(), "only the marked fn is scanned");
+
+        // Unmarked allocations pass; `to_vec` without a call does not fire.
+        assert!(lint_str("fn f(d: &[u8]) -> Vec<u8> { d.to_vec() }").is_empty());
+        let src = "// lint:hot\nfn f() { let to_vec = 1; let _ = to_vec; }\n";
+        assert!(lint_str(src).is_empty());
+
+        // A doc mention of the marker mid-line opens no span.
+        let src = "//! functions marked `// lint:hot` are scanned\nfn f(d: &[u8]) -> Vec<u8> { d.to_vec() }\n";
+        assert!(lint_str(src).is_empty());
+
+        // lint:allow suppresses like any other rule.
+        let src =
+            "// lint:hot\nfn f(d: &[u8]) -> Vec<u8> {\n    // lint:allow(hot-path-alloc)\n    d.to_vec()\n}\n";
+        assert!(lint_str(src).is_empty());
     }
 
     #[test]

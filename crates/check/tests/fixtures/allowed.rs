@@ -15,3 +15,9 @@ fn doc() -> &'static str {
 fn lifetimes<'a>(m: &'a std::collections::BTreeMap<u64, f64>) -> &'a f64 {
     m.get(&0).unwrap()
 }
+
+// lint:hot
+fn warmup(data: &[u8]) -> Vec<u8> {
+    // lint:allow(hot-path-alloc) one-time setup copy, outside steady state
+    data.to_vec()
+}

@@ -1,0 +1,21 @@
+// Fixture: per-call allocations inside declared hot paths.
+
+// lint:hot
+fn hot_copy(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let extra = data.to_vec();
+    out.extend_from_slice(&extra);
+    out
+}
+
+fn cold_copy(data: &[u8]) -> Vec<u8> {
+    // Unmarked functions may allocate freely.
+    data.to_vec()
+}
+
+// lint:hot
+fn hot_clean(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}

@@ -57,6 +57,14 @@ fn detects_float_keys() {
 }
 
 #[test]
+fn detects_hot_path_alloc() {
+    let findings = lint_file(&fixture("hot_path_alloc.rs")).unwrap();
+    assert_eq!(rules_hit(&findings), ["hot-path-alloc"]);
+    assert_eq!(findings.len(), 2, "Vec::new + to_vec in the marked fn");
+    assert!(findings.iter().all(|f| f.line <= 9), "cold fn not flagged");
+}
+
+#[test]
 fn allow_markers_and_noncode_text_suppress() {
     let findings = lint_file(&fixture("allowed.rs")).unwrap();
     assert!(findings.is_empty(), "expected clean, got: {findings:?}");

@@ -7,12 +7,65 @@
 //! the identity — hence *systematic*: fragments `0..k` are the value
 //! striped verbatim.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use bytes::Bytes;
 
 use crate::error::CodecError;
 use crate::fragment::{Fragment, FragmentIndex};
 use crate::gf;
 use crate::matrix::Matrix;
+
+/// Process-wide switch to the pre-optimization reference implementation;
+/// see [`Codec::set_reference_mode`].
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Upper bound on cached decode-matrix inversions per codec.
+///
+/// A convergence run decodes the same few surviving subsets over and over
+/// (the paper's steady state), so a small bound captures essentially all
+/// hits; it exists only to keep adversarial access patterns from growing
+/// the cache without limit.
+const INVERSION_CACHE_CAP: usize = 64;
+
+/// Bounded cache of decode-matrix inversions, keyed by the sorted set of
+/// surviving fragment indices used as decode rows.
+///
+/// Eviction is deterministic FIFO: each entry records the monotone tick at
+/// which it was inserted and the oldest entry is dropped when the cache is
+/// full. Cached inverses are exactly the matrices Gaussian elimination
+/// would produce, so hits are byte-identical to cold decodes and replay
+/// digests are unaffected.
+#[derive(Debug, Clone, Default)]
+struct InversionCache {
+    entries: BTreeMap<Vec<u8>, (u64, Matrix)>,
+    tick: u64,
+}
+
+impl InversionCache {
+    fn get(&self, key: &[u8]) -> Option<&Matrix> {
+        self.entries.get(key).map(|(_, m)| m)
+    }
+
+    fn insert(&mut self, key: Vec<u8>, inv: Matrix) {
+        if self.entries.len() >= INVERSION_CACHE_CAP {
+            // Evict the oldest insertion (deterministic: ticks are unique).
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        let tick = self.tick;
+        self.tick += 1;
+        self.entries.insert(key, (tick, inv));
+    }
+}
 
 /// A systematic Reed-Solomon `(k, n)` erasure codec over GF(2⁸).
 ///
@@ -37,6 +90,10 @@ pub struct Codec {
     k: usize,
     n: usize,
     generator: Matrix,
+    // Interior mutability so `decode`/`recover` stay `&self`; the codec
+    // lives inside single-threaded simulation actors, which never needed
+    // `Sync`. `Send` is preserved (no `Rc` inside).
+    inversions: RefCell<InversionCache>,
 }
 
 impl Codec {
@@ -56,7 +113,12 @@ impl Codec {
             .expect("top block of a Vandermonde matrix is invertible");
         let generator = vandermonde.mul(&top_inv);
         debug_assert!(generator.submatrix(k, k).is_identity());
-        Ok(Codec { k, n, generator })
+        Ok(Codec {
+            k,
+            n,
+            generator,
+            inversions: RefCell::new(InversionCache::default()),
+        })
     }
 
     /// Number of data fragments (`k`).
@@ -86,32 +148,51 @@ impl Codec {
     /// length must be carried out-of-band (Pahoehoe keeps it in metadata)
     /// and passed back to [`decode`](Self::decode).
     pub fn encode(&self, value: &[u8]) -> Vec<Fragment> {
-        let flen = self.fragment_len(value.len());
         let mut frags = Vec::with_capacity(self.n);
-
-        // Data fragments: the value striped in order, last one padded.
-        let mut data_shards: Vec<Bytes> = Vec::with_capacity(self.k);
-        for i in 0..self.k {
-            let start = (i * flen).min(value.len());
-            let end = ((i + 1) * flen).min(value.len());
-            let mut shard = Vec::with_capacity(flen);
-            shard.extend_from_slice(&value[start..end]);
-            shard.resize(flen, 0);
-            data_shards.push(Bytes::from(shard));
-        }
-        for (i, shard) in data_shards.iter().enumerate() {
-            frags.push(Fragment::new(i as FragmentIndex, shard.clone()));
-        }
-
-        // Parity fragments: G[row] · data.
-        for row in self.k..self.n {
-            let mut parity = vec![0u8; flen];
-            for (i, shard) in data_shards.iter().enumerate() {
-                gf::mul_acc(&mut parity, shard, self.generator.get(row, i));
-            }
-            frags.push(Fragment::new(row as FragmentIndex, parity));
-        }
+        self.encode_into(value, &mut frags);
         frags
+    }
+
+    /// Like [`encode`](Self::encode), but reuses `out` for the fragment
+    /// list (cleared first) so per-operation callers keep one `Vec` alive
+    /// instead of allocating a fresh one per protocol step.
+    ///
+    /// The whole stripe — data and parity — lives in a single allocation:
+    /// the value is striped into an `n * fragment_len` buffer, parity is
+    /// computed in place, and the buffer is frozen into one refcounted
+    /// [`Bytes`] that every fragment holds a zero-copy window of.
+    // lint:hot
+    pub fn encode_into(&self, value: &[u8], out: &mut Vec<Fragment>) {
+        out.clear();
+        if Self::reference_mode() {
+            self.encode_reference_into(value, out);
+            return;
+        }
+        let flen = self.fragment_len(value.len());
+        // Copy the value in, then zero-extend: only the padding and the
+        // parity region get zeroed, not the bytes we just wrote.
+        let mut stripe = Vec::with_capacity(self.n * flen);
+        stripe.extend_from_slice(value);
+        stripe.resize(self.n * flen, 0);
+        let (data, parity) = stripe.split_at_mut(self.k * flen);
+        for row in self.k..self.n {
+            let seg = &mut parity[(row - self.k) * flen..(row - self.k + 1) * flen];
+            for i in 0..self.k {
+                gf::mul_acc(
+                    seg,
+                    &data[i * flen..(i + 1) * flen],
+                    self.generator.get(row, i),
+                );
+            }
+        }
+        let backing = Bytes::from(stripe);
+        out.reserve(self.n);
+        for i in 0..self.n {
+            out.push(Fragment::new(
+                i as FragmentIndex,
+                backing.slice(i * flen..(i + 1) * flen),
+            ));
+        }
     }
 
     /// Decodes the original `value_len`-byte value from any `k` distinct
@@ -125,14 +206,40 @@ impl Codec {
     /// * [`CodecError::FragmentLengthMismatch`] — a payload length differs
     ///   from `fragment_len(value_len)`.
     pub fn decode(&self, fragments: &[Fragment], value_len: usize) -> Result<Vec<u8>, CodecError> {
-        let data_shards = self.data_shards(fragments, value_len)?;
-        let flen = self.fragment_len(value_len);
-        let mut value = Vec::with_capacity(self.k * flen);
-        for shard in &data_shards {
-            value.extend_from_slice(shard);
-        }
-        value.truncate(value_len);
+        let mut value = Vec::new();
+        self.decode_into(fragments, value_len, &mut value)?;
         Ok(value)
+    }
+
+    /// Like [`decode`](Self::decode), but writes the value into `out`
+    /// (cleared first), reusing its capacity across calls. The decode rows
+    /// are applied directly to `out`'s segments — no intermediate shard
+    /// `Vec`s.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decode`](Self::decode); on error `out`'s
+    /// contents are unspecified (but it remains valid to reuse).
+    pub fn decode_into(
+        &self,
+        fragments: &[Fragment],
+        value_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let picked = self.pick_fragments(fragments, value_len)?;
+        let flen = self.fragment_len(value_len);
+        out.clear();
+        if Self::reference_mode() {
+            for shard in self.data_shards_reference(&picked, flen) {
+                out.extend_from_slice(&shard);
+            }
+            out.truncate(value_len);
+            return Ok(());
+        }
+        out.resize(self.k * flen, 0);
+        self.reconstruct_into(&picked, flen, out);
+        out.truncate(value_len);
+        Ok(())
     }
 
     /// Regenerates the fragments with indices `missing` from any `k`
@@ -152,6 +259,27 @@ impl Codec {
         missing: &[FragmentIndex],
         value_len: usize,
     ) -> Result<Vec<Fragment>, CodecError> {
+        let mut out = Vec::with_capacity(missing.len());
+        self.recover_into(fragments, missing, value_len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`recover`](Self::recover), but reuses `out` for the fragment
+    /// list (cleared first). All regenerated fragments share one backing
+    /// allocation, like [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`recover`](Self::recover).
+    // lint:hot
+    pub fn recover_into(
+        &self,
+        fragments: &[Fragment],
+        missing: &[FragmentIndex],
+        value_len: usize,
+        out: &mut Vec<Fragment>,
+    ) -> Result<(), CodecError> {
+        out.clear();
         for &m in missing {
             if (m as usize) >= self.n {
                 return Err(CodecError::InvalidFragmentIndex {
@@ -160,27 +288,52 @@ impl Codec {
                 });
             }
         }
-        let data_shards = self.data_shards(fragments, value_len)?;
+        let picked = self.pick_fragments(fragments, value_len)?;
         let flen = self.fragment_len(value_len);
-        let mut out = Vec::with_capacity(missing.len());
-        for &m in missing {
-            let row = m as usize;
-            let mut shard = vec![0u8; flen];
-            for (i, data) in data_shards.iter().enumerate() {
-                gf::mul_acc(&mut shard, data, self.generator.get(row, i));
+
+        if Self::reference_mode() {
+            let shards = self.data_shards_reference(&picked, flen);
+            for &m in missing {
+                let row = m as usize;
+                let mut shard = vec![0u8; flen];
+                for (i, data) in shards.iter().enumerate() {
+                    gf::mul_acc_ref(&mut shard, data, self.generator.get(row, i));
+                }
+                out.push(Fragment::new(m, shard));
             }
-            out.push(Fragment::new(m, shard));
+            return Ok(());
         }
-        Ok(out)
+
+        let mut data = vec![0u8; self.k * flen];
+        self.reconstruct_into(&picked, flen, &mut data);
+
+        let mut buf = vec![0u8; missing.len() * flen];
+        for (j, &m) in missing.iter().enumerate() {
+            let row = m as usize;
+            let seg = &mut buf[j * flen..(j + 1) * flen];
+            for i in 0..self.k {
+                gf::mul_acc(
+                    seg,
+                    &data[i * flen..(i + 1) * flen],
+                    self.generator.get(row, i),
+                );
+            }
+        }
+        let backing = Bytes::from(buf);
+        out.reserve(missing.len());
+        for (j, &m) in missing.iter().enumerate() {
+            out.push(Fragment::new(m, backing.slice(j * flen..(j + 1) * flen)));
+        }
+        Ok(())
     }
 
-    /// Reconstructs the `k` data shards (padded) from any `k` distinct
-    /// fragments.
-    fn data_shards(
+    /// Validates and deduplicates `fragments`, returning the `k` fragments
+    /// that will serve as decode rows, in ascending index order.
+    fn pick_fragments<'a>(
         &self,
-        fragments: &[Fragment],
+        fragments: &'a [Fragment],
         value_len: usize,
-    ) -> Result<Vec<Vec<u8>>, CodecError> {
+    ) -> Result<Vec<&'a Fragment>, CodecError> {
         let flen = self.fragment_len(value_len);
 
         // Deduplicate by index, validating as we go.
@@ -214,8 +367,16 @@ impl Codec {
                 need: self.k,
             });
         }
+        Ok(chosen.into_iter().flatten().take(self.k).collect())
+    }
 
-        let picked: Vec<&Fragment> = chosen.into_iter().flatten().take(self.k).collect();
+    /// Reconstructs the `k` padded data shards from `picked` (ascending
+    /// index order, as produced by
+    /// [`pick_fragments`](Self::pick_fragments)) into `out`, which must be
+    /// `k * flen` zeroed bytes; shard `i` lands at `out[i*flen..(i+1)*flen]`.
+    // lint:hot
+    fn reconstruct_into(&self, picked: &[&Fragment], flen: usize, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.k * flen);
 
         // Fast path: all k data fragments present — no algebra needed.
         if picked
@@ -223,24 +384,121 @@ impl Codec {
             .enumerate()
             .all(|(i, f)| f.index() as usize == i)
         {
-            return Ok(picked.iter().map(|f| f.data().to_vec()).collect());
+            for (i, f) in picked.iter().enumerate() {
+                out[i * flen..(i + 1) * flen].copy_from_slice(f.data());
+            }
+            return;
         }
 
-        let rows: Vec<usize> = picked.iter().map(|f| f.index() as usize).collect();
-        let sub = self.generator.select_rows(&rows);
-        let inv = sub
+        let inv = self.decode_matrix(picked);
+        for r in 0..self.k {
+            let seg = &mut out[r * flen..(r + 1) * flen];
+            for (c, frag) in picked.iter().enumerate() {
+                gf::mul_acc(seg, frag.data(), inv.get(r, c));
+            }
+        }
+    }
+
+    /// Returns the inverse of the generator rows selected by `picked`,
+    /// consulting the [`InversionCache`] first.
+    ///
+    /// `picked` is in ascending index order, so the cache key is the
+    /// sorted surviving-index set directly. A hit clones the cached
+    /// `k × k` matrix (at most 256 bytes for the paper's shapes) instead
+    /// of re-running Gaussian elimination.
+    fn decode_matrix(&self, picked: &[&Fragment]) -> Matrix {
+        let key: Vec<u8> = picked.iter().map(|f| f.index()).collect();
+        if let Some(inv) = self.inversions.borrow().get(&key) {
+            return inv.clone();
+        }
+        let rows: Vec<usize> = key.iter().map(|&i| i as usize).collect();
+        let inv = self
+            .generator
+            .select_rows(&rows)
             .inverse()
             .expect("any k rows of the systematic generator are independent");
+        self.inversions.borrow_mut().insert(key, inv.clone());
+        inv
+    }
 
+    /// Number of decode-matrix inversions currently cached (for tests and
+    /// diagnostics).
+    pub fn cached_inversions(&self) -> usize {
+        self.inversions.borrow().entries.len()
+    }
+
+    // ---- reference implementation (benchmark "before" baseline) ----
+
+    /// Switches every codec in the process to the pre-optimization
+    /// reference implementation: log/exp [`gf::mul_acc_ref`] arithmetic,
+    /// per-shard allocations, and a fresh Gaussian elimination per decode
+    /// (no inversion cache).
+    ///
+    /// Output bytes are identical in both modes — only the cost changes —
+    /// so this exists solely for the recorded benchmark baseline
+    /// (`cargo run -p bench --release --bin baseline`) to measure honest
+    /// before/after numbers through the full protocol stack. Not for
+    /// production use.
+    pub fn set_reference_mode(enabled: bool) {
+        REFERENCE_MODE.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether [`set_reference_mode`](Self::set_reference_mode) is on.
+    pub fn reference_mode() -> bool {
+        REFERENCE_MODE.load(Ordering::Relaxed)
+    }
+
+    /// The seed implementation of `encode`, kept verbatim as the
+    /// benchmark's "before": per-shard `Vec` → `Bytes` copies and
+    /// byte-at-a-time log/exp parity accumulation.
+    fn encode_reference_into(&self, value: &[u8], out: &mut Vec<Fragment>) {
+        let flen = self.fragment_len(value.len());
+        let mut data_shards: Vec<Bytes> = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let start = (i * flen).min(value.len());
+            let end = ((i + 1) * flen).min(value.len());
+            let mut shard = Vec::with_capacity(flen);
+            shard.extend_from_slice(&value[start..end]);
+            shard.resize(flen, 0);
+            data_shards.push(Bytes::from(shard));
+        }
+        for (i, shard) in data_shards.iter().enumerate() {
+            out.push(Fragment::new(i as FragmentIndex, shard.clone()));
+        }
+        for row in self.k..self.n {
+            let mut parity = vec![0u8; flen];
+            for (i, shard) in data_shards.iter().enumerate() {
+                gf::mul_acc_ref(&mut parity, shard, self.generator.get(row, i));
+            }
+            out.push(Fragment::new(row as FragmentIndex, parity));
+        }
+    }
+
+    /// The seed implementation of data-shard reconstruction: fresh shard
+    /// `Vec`s, a Gaussian elimination per call, log/exp arithmetic.
+    fn data_shards_reference(&self, picked: &[&Fragment], flen: usize) -> Vec<Vec<u8>> {
+        if picked
+            .iter()
+            .enumerate()
+            .all(|(i, f)| f.index() as usize == i)
+        {
+            return picked.iter().map(|f| f.data().to_vec()).collect();
+        }
+        let rows: Vec<usize> = picked.iter().map(|f| f.index() as usize).collect();
+        let inv = self
+            .generator
+            .select_rows(&rows)
+            .inverse()
+            .expect("any k rows of the systematic generator are independent");
         let mut shards = Vec::with_capacity(self.k);
         for r in 0..self.k {
             let mut shard = vec![0u8; flen];
             for (c, frag) in picked.iter().enumerate() {
-                gf::mul_acc(&mut shard, frag.data(), inv.get(r, c));
+                gf::mul_acc_ref(&mut shard, frag.data(), inv.get(r, c));
             }
             shards.push(shard);
         }
-        Ok(shards)
+        shards
     }
 }
 
@@ -440,6 +698,155 @@ mod tests {
         let frags = c.encode(&v);
         let err = c.recover(&frags[..2], &[4], v.len()).unwrap_err();
         assert_eq!(err, CodecError::InvalidFragmentIndex { index: 4, n: 4 });
+    }
+
+    /// Serializes the tests that read or write the process-wide reference
+    /// mode, so parallel test threads cannot observe each other's toggles.
+    static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn reference_mode_is_byte_identical() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(777);
+        let frags = c.encode(&v);
+        let subset = [
+            frags[2].clone(),
+            frags[5].clone(),
+            frags[7].clone(),
+            frags[11].clone(),
+        ];
+
+        Codec::set_reference_mode(true);
+        assert!(Codec::reference_mode());
+        let ref_frags = c.encode(&v);
+        let ref_decoded = c.decode(&subset, v.len()).unwrap();
+        let ref_recovered = c.recover(&subset, &[0, 3, 10], v.len()).unwrap();
+        Codec::set_reference_mode(false);
+
+        assert_eq!(ref_frags, frags, "encode agrees across modes");
+        assert_eq!(ref_decoded, v, "decode agrees across modes");
+        assert_eq!(
+            ref_recovered,
+            c.recover(&subset, &[0, 3, 10], v.len()).unwrap(),
+            "recover agrees across modes"
+        );
+    }
+
+    #[test]
+    fn encode_fragments_share_one_backing_allocation() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(100);
+        let frags = c.encode(&v);
+        let base = frags[0].data().as_ref().as_ptr();
+        let flen = c.fragment_len(v.len());
+        for (i, f) in frags.iter().enumerate() {
+            assert_eq!(
+                f.data().as_ref().as_ptr(),
+                base.wrapping_add(i * flen),
+                "fragment {i} is a window of the stripe"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_output_vec() {
+        let c = Codec::new(3, 6).unwrap();
+        let mut out = Vec::new();
+        c.encode_into(&value(33), &mut out);
+        assert_eq!(out.len(), 6);
+        let expect = c.encode(&value(60));
+        c.encode_into(&value(60), &mut out);
+        assert_eq!(out, expect, "second use after clear matches fresh encode");
+    }
+
+    #[test]
+    fn decode_into_matches_decode() {
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(1001);
+        let frags = c.encode(&v);
+        let mut out = vec![0xFFu8; 3]; // dirty, undersized scratch
+        c.decode_into(&frags[6..10], v.len(), &mut out).unwrap();
+        assert_eq!(out, v);
+        // Errors leave the scratch reusable.
+        assert!(c.decode_into(&frags[..2], v.len(), &mut out).is_err());
+        c.decode_into(&frags[2..6], v.len(), &mut out).unwrap();
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn recover_into_matches_recover() {
+        let c = Codec::new(4, 12).unwrap();
+        let v = value(555);
+        let frags = c.encode(&v);
+        let survivors = [
+            frags[1].clone(),
+            frags[4].clone(),
+            frags[9].clone(),
+            frags[11].clone(),
+        ];
+        let mut out = Vec::new();
+        c.recover_into(&survivors, &[0, 2, 7], v.len(), &mut out)
+            .unwrap();
+        assert_eq!(out, c.recover(&survivors, &[0, 2, 7], v.len()).unwrap());
+        for r in &out {
+            assert_eq!(r, &frags[r.index() as usize]);
+        }
+    }
+
+    #[test]
+    fn inversion_cache_populates_and_hits_identically() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        let warm = Codec::new(3, 6).unwrap();
+        let v = value(99);
+        let frags = warm.encode(&v);
+
+        // Fast path (all data fragments) must not touch the cache.
+        assert_eq!(warm.decode(&frags[..3], v.len()).unwrap(), v);
+        assert_eq!(warm.cached_inversions(), 0);
+
+        let subset = [frags[1].clone(), frags[4].clone(), frags[5].clone()];
+        assert_eq!(warm.decode(&subset, v.len()).unwrap(), v);
+        assert_eq!(warm.cached_inversions(), 1);
+
+        // Warm decode (cache hit) is byte-identical to a cold codec.
+        let cold = Codec::new(3, 6).unwrap();
+        assert_eq!(
+            warm.decode(&subset, v.len()).unwrap(),
+            cold.decode(&subset, v.len()).unwrap()
+        );
+        assert_eq!(warm.cached_inversions(), 1, "same subset reuses its entry");
+
+        // `recover` shares the same cache.
+        let re = warm.recover(&subset, &[0, 2], v.len()).unwrap();
+        assert_eq!(re[0], frags[0]);
+        assert_eq!(re[1], frags[2]);
+        assert_eq!(warm.cached_inversions(), 1);
+    }
+
+    #[test]
+    fn inversion_cache_is_bounded() {
+        // k=2, n=12: 66 two-fragment subsets, 65 of which need algebra —
+        // one more than the cap, so eviction must kick in.
+        let _guard = MODE_LOCK.lock().unwrap();
+        let c = Codec::new(2, 12).unwrap();
+        let v = value(24);
+        let frags = c.encode(&v);
+        for a in 0..12 {
+            for b in (a + 1)..12 {
+                let subset = [frags[a].clone(), frags[b].clone()];
+                assert_eq!(c.decode(&subset, v.len()).unwrap(), v, "subset {a},{b}");
+            }
+        }
+        assert!(
+            c.cached_inversions() <= super::INVERSION_CACHE_CAP,
+            "cache stayed bounded: {}",
+            c.cached_inversions()
+        );
+        // Everything still decodes correctly after evictions.
+        let subset = [frags[2].clone(), frags[3].clone()];
+        assert_eq!(c.decode(&subset, v.len()).unwrap(), v);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! `x⁸ + x⁴ + x³ + x² + 1` (`0x11d`), the polynomial conventionally used by
 //! storage Reed-Solomon implementations. Multiplication and division are
 //! table-driven: `EXP`/`LOG` tables are generated at compile time from the
-//! generator element `2`.
+//! generator element `2`, and a flat 64 KiB [`MUL`] product table (also
+//! compile-time) backs the hot paths. The log/exp routines
+//! ([`mul_logexp`], [`mul_acc_ref`]) are kept as the reference
+//! implementation that the tables and property tests are checked against.
 
 /// The primitive polynomial, with the x⁸ term included (`0x11d`).
 pub const PRIMITIVE_POLY: u16 = 0x11d;
@@ -48,6 +51,40 @@ const fn build_log() -> [u8; 256] {
     table
 }
 
+/// Flat 64 KiB multiplication table: `MUL[a][b] == a * b` in GF(2⁸).
+///
+/// `MUL[a]` is a contiguous 256-byte row, so the encode/decode inner loops
+/// fetch one row per scalar and then index it per source byte — no
+/// zero-checks, no log/exp double lookup, and the row stays resident in L1
+/// for the whole slice.
+pub static MUL: [[u8; 256]; 256] = build_mul();
+
+const fn build_mul() -> [[u8; 256]; 256] {
+    let exp = build_exp();
+    let log = build_log();
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let mut b = 1usize;
+        while b < 256 {
+            table[a][b] = exp[log[a] as usize + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// Returns the 256-byte multiplication row for `scalar`:
+/// `mul_row(s)[b] == s * b`.
+///
+/// Hot loops that apply one scalar to a whole slice should fetch the row
+/// once and index it directly, as [`mul_acc`] does.
+#[inline]
+pub fn mul_row(scalar: u8) -> &'static [u8; 256] {
+    &MUL[scalar as usize]
+}
+
 /// Adds two field elements. In GF(2⁸) addition and subtraction are both XOR.
 #[inline]
 pub const fn add(a: u8, b: u8) -> u8 {
@@ -60,9 +97,18 @@ pub const fn sub(a: u8, b: u8) -> u8 {
     a ^ b
 }
 
-/// Multiplies two field elements.
+/// Multiplies two field elements (branch-free [`MUL`] table lookup).
 #[inline]
 pub fn mul(a: u8, b: u8) -> u8 {
+    MUL[a as usize][b as usize]
+}
+
+/// Multiplies two field elements via the log/exp tables.
+///
+/// Reference implementation for [`mul`]; kept for the property tests and
+/// the recorded "before" benchmark baseline.
+#[inline]
+pub fn mul_logexp(a: u8, b: u8) -> u8 {
     if a == 0 || b == 0 {
         0
     } else {
@@ -113,14 +159,82 @@ pub fn pow(a: u8, e: usize) -> u8 {
 /// Multiplies every byte of `src` by `scalar` and XORs the products into
 /// `dst`: `dst[i] ^= scalar * src[i]`.
 ///
-/// This is the inner loop of Reed-Solomon encoding and decoding; it is
-/// written without bounds checks in the hot path by iterating over zipped
-/// slices.
+/// This is the inner loop of Reed-Solomon encoding and decoding. It
+/// fetches the 256-byte [`MUL`] row for `scalar` once, then runs a
+/// branch-free, 8-way-unrolled loop over the slices; `scalar == 1`
+/// degenerates to a word-wide XOR.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+// lint:hot
 pub fn mul_acc(dst: &mut [u8], src: &[u8], scalar: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc slice length mismatch");
+    if scalar == 0 {
+        return;
+    }
+    if scalar == 1 {
+        xor_slice(dst, src);
+        return;
+    }
+    let row = mul_row(scalar);
+    let mut d_chunks = dst.chunks_exact_mut(8);
+    let mut s_chunks = src.chunks_exact(8);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        // Gather the 8 products into one word so the accumulate is a
+        // single load + XOR + store instead of 8 byte-wide read-modify-
+        // writes.
+        let products = u64::from_ne_bytes([
+            row[s[0] as usize],
+            row[s[1] as usize],
+            row[s[2] as usize],
+            row[s[3] as usize],
+            row[s[4] as usize],
+            row[s[5] as usize],
+            row[s[6] as usize],
+            row[s[7] as usize],
+        ]);
+        let dw = u64::from_ne_bytes(d.try_into().expect("chunk is 8 bytes"));
+        d.copy_from_slice(&(dw ^ products).to_ne_bytes());
+    }
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// XORs `src` into `dst` one machine word at a time (the `scalar == 1`
+/// fast path of [`mul_acc`]; GF(2⁸) multiplication by 1 is the identity,
+/// so the accumulate step is a plain XOR).
+// lint:hot
+fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    const W: usize = std::mem::size_of::<u64>();
+    let mut d_chunks = dst.chunks_exact_mut(W);
+    let mut s_chunks = src.chunks_exact(W);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        let dw = u64::from_ne_bytes(d.try_into().expect("chunk is W bytes"));
+        let sw = u64::from_ne_bytes(s.try_into().expect("chunk is W bytes"));
+        d.copy_from_slice(&(dw ^ sw).to_ne_bytes());
+    }
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
+        *d ^= *s;
+    }
+}
+
+/// Log/exp-table reference implementation of [`mul_acc`].
+///
+/// Byte-at-a-time with a zero check per source byte — exactly the loop the
+/// codec shipped with before the flat-table rewrite. The property tests
+/// assert `mul_acc` matches this for all scalars, and the benchmark
+/// baseline records its throughput as the "before" number.
+pub fn mul_acc_ref(dst: &mut [u8], src: &[u8], scalar: u8) {
     assert_eq!(dst.len(), src.len(), "mul_acc slice length mismatch");
     if scalar == 0 {
         return;
@@ -193,6 +307,51 @@ mod tests {
             for b in 0..=255u8 {
                 assert_eq!(mul(a, b), slow_mul(a, b), "mul({a},{b})");
             }
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_logexp_reference() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul_logexp(a, b), "MUL[{a}][{b}]");
+                assert_eq!(MUL[a as usize][b as usize], mul_logexp(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_row_is_table_row() {
+        for s in 0..=255u8 {
+            let row = mul_row(s);
+            for b in 0..=255u8 {
+                assert_eq!(row[b as usize], mul(s, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_reference_all_scalars() {
+        // 19 bytes: exercises the 8-way unrolled body (2 full chunks) and
+        // a 3-byte remainder, with zeros sprinkled in.
+        let src: Vec<u8> = (0..19u8).map(|i| i.wrapping_mul(37) % 251).collect();
+        for scalar in 0..=255u8 {
+            let mut fast = vec![0x5Au8; src.len()];
+            let mut slow = fast.clone();
+            mul_acc(&mut fast, &src, scalar);
+            mul_acc_ref(&mut slow, &src, scalar);
+            assert_eq!(fast, slow, "scalar={scalar}");
+        }
+    }
+
+    #[test]
+    fn xor_slice_handles_unaligned_lengths() {
+        for len in 0..40usize {
+            let src: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(13) ^ 0xA5).collect();
+            let mut fast = vec![0x33u8; len];
+            let expect: Vec<u8> = fast.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+            mul_acc(&mut fast, &src, 1);
+            assert_eq!(fast, expect, "len={len}");
         }
     }
 

@@ -139,6 +139,11 @@ pub struct Fs {
     recoveries_done: u64,
     /// Corrupted fragments detected (by the scrubber or the read path).
     corruption_detected: u64,
+    /// Codecs by `(k, n)`, built once per policy shape: constructing a
+    /// codec runs a Gaussian elimination, far too costly per recovery.
+    codecs: BTreeMap<(u8, u8), Codec>,
+    /// Reusable fragment-list scratch for the recovery path.
+    recover_scratch: Vec<Fragment>,
 }
 
 impl Fs {
@@ -159,7 +164,15 @@ impl Fs {
             steps_run: 0,
             recoveries_done: 0,
             corruption_detected: 0,
+            codecs: BTreeMap::new(),
+            recover_scratch: Vec::new(),
         }
+    }
+
+    fn codec(&mut self, k: u8, n: u8) -> &Codec {
+        self.codecs.entry((k, n)).or_insert_with(|| {
+            Codec::new(usize::from(k), usize::from(n)).expect("policy validated at put time")
+        })
     }
 
     // ---- state inspection ----
@@ -699,8 +712,8 @@ impl Fs {
     fn try_finish_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
         let me = ctx.self_id();
         let entry = &self.storefrag[&ov];
-        let k = usize::from(entry.meta.policy().k);
-        let n = usize::from(entry.meta.policy().n);
+        let policy = *entry.meta.policy();
+        let k = usize::from(policy.k);
         let value_len = entry.meta.value_len();
 
         let work = &self.storemeta[&ov];
@@ -726,13 +739,14 @@ impl Fs {
         targets.sort_unstable();
         targets.dedup();
 
-        let codec = Codec::new(k, n).expect("policy validated at put time");
         let sources: Vec<Fragment> = pool.values().cloned().collect();
-        let recovered = codec
-            .recover(&sources, &targets, value_len)
+        let mut recovered = std::mem::take(&mut self.recover_scratch);
+        self.codec(policy.k, policy.n)
+            .recover_into(&sources, &targets, value_len, &mut recovered)
             .expect("k fragments suffice");
         let by_idx: BTreeMap<FragmentIndex, Fragment> =
-            recovered.into_iter().map(|f| (f.index(), f)).collect();
+            recovered.drain(..).map(|f| (f.index(), f)).collect();
+        self.recover_scratch = recovered;
 
         // Store our own missing fragments.
         let my_missing = self.missing_fragments(me, &ov);

@@ -171,6 +171,10 @@ pub struct Proxy {
     /// by tests; equals the number of Put-AMR indications broadcast when
     /// the optimization is on).
     puts_fully_acked: u64,
+    /// Reusable scratch for the get decode path, so steady-state gets do
+    /// not allocate a fragment list and a value buffer per decode.
+    frag_scratch: Vec<Fragment>,
+    decode_scratch: Vec<u8>,
 }
 
 impl Proxy {
@@ -188,6 +192,8 @@ impl Proxy {
             codecs: BTreeMap::new(),
             seen_client_ops: BTreeSet::new(),
             puts_fully_acked: 0,
+            frag_scratch: Vec::new(),
+            decode_scratch: Vec::new(),
         }
     }
 
@@ -598,14 +604,20 @@ impl Proxy {
         // can_decode?
         let k = usize::from(current.meta.policy().k);
         if current.fragments.len() >= k {
-            let frags: Vec<Fragment> = current.fragments.values().cloned().collect();
+            let mut frags = std::mem::take(&mut self.frag_scratch);
+            frags.clear();
+            frags.extend(current.fragments.values().cloned());
             let value_len = current.meta.value_len();
             let policy = *current.meta.policy();
-            let value = self
-                .codec(policy.k, policy.n)
-                .decode(&frags, value_len)
+            let mut value = std::mem::take(&mut self.decode_scratch);
+            self.codec(policy.k, policy.n)
+                .decode_into(&frags, value_len, &mut value)
                 .expect("k verified fragments decode");
-            self.finish_get(ctx, op, Some((ov, Bytes::from(value))));
+            let blob = Bytes::copy_from_slice(&value);
+            frags.clear();
+            self.frag_scratch = frags;
+            self.decode_scratch = value;
+            self.finish_get(ctx, op, Some((ov, blob)));
             return;
         }
         self.maybe_advance(ctx, op);

@@ -130,16 +130,14 @@ impl<M: Payload> Inner<M> {
             return;
         }
         // Bounded duplication (§3.1's channel model): a delivered message
-        // may arrive twice, with independent latencies.
-        let copies = if self.network.duplicate_rate > 0.0
+        // may arrive twice, with independent latencies. The payload is
+        // moved into the final delivery; only a fault-injected duplicate
+        // clones it. RNG call order (one latency sample per copy, in copy
+        // order) is identical either way, so traces replay byte-identically.
+        if self.network.duplicate_rate > 0.0
             && self.rng.random::<f64>() < self.network.duplicate_rate
         {
             self.metrics.record_duplicate();
-            2
-        } else {
-            1
-        };
-        for _ in 0..copies {
             let latency = self.network.sample_link_latency(from, to, &mut self.rng);
             self.push(
                 self.now + latency,
@@ -150,6 +148,8 @@ impl<M: Payload> Inner<M> {
                 },
             );
         }
+        let latency = self.network.sample_link_latency(from, to, &mut self.rng);
+        self.push(self.now + latency, to, EventKind::Deliver { from, msg });
     }
 }
 

@@ -20,4 +20,9 @@ cargo run -p check --bin lint
 echo "==> invariant explorer (smoke sweep)"
 cargo run -p check --release --bin explore -- --smoke
 
+echo "==> bench baseline (smoke)"
+cargo run -p bench --release --bin baseline -- --smoke
+python3 -m json.tool BENCH_codec.json > /dev/null
+python3 -m json.tool BENCH_convergence.json > /dev/null
+
 echo "CI green."

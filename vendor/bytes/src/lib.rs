@@ -1,21 +1,32 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Provides [`Bytes`], an immutable, cheaply cloneable byte buffer backed
-//! by `Arc<[u8]>` — the subset of the real crate's API this workspace
-//! uses. Cloning is a reference-count bump, which is what the simulator
-//! relies on when fanning a fragment out to many actors.
+//! by `Arc<Vec<u8>>` plus a view window — the subset of the real crate's
+//! API this workspace uses. Cloning is a reference-count bump,
+//! [`slice`](Bytes::slice) is zero-copy (a narrower view of the same
+//! allocation), and `From<Vec<u8>>` adopts the vector without copying its
+//! contents — all of which the simulator and the erasure codec rely on
+//! when fanning fragments of one encoded stripe out to many actors.
 
 #![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// An immutable, reference-counted byte buffer (a `[start, start+len)`
+/// window over a shared allocation).
+///
+/// Equality, ordering, and hashing are over the viewed contents, not the
+/// backing storage, matching the real crate.
+#[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -24,33 +35,43 @@ impl Bytes {
         Bytes::default()
     }
 
+    fn from_vec(data: Vec<u8>) -> Self {
+        let len = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            len,
+        }
+    }
+
     /// Wraps a static slice (copied; the real crate borrows, but nothing
     /// here depends on that optimization).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes::from_vec(data.to_vec())
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes::from_vec(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
     }
 
-    /// A new buffer holding `self[range]`.
+    /// A new buffer viewing `self[range]` — zero-copy; the backing
+    /// allocation is shared, only the window narrows.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -61,10 +82,17 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.len(),
+            Bound::Unbounded => self.len,
         };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range for Bytes of length {}",
+            self.len
+        );
         Bytes {
-            data: self.data[start..end].into(),
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            len: end - start,
         }
     }
 }
@@ -72,25 +100,54 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.start + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        // Adopts the vector's allocation — no copy. This keeps
+        // `Codec::encode`'s single-stripe buffer a single allocation end
+        // to end.
+        Bytes::from_vec(v)
     }
 }
 
@@ -108,54 +165,50 @@ impl<const N: usize> From<&'static [u8; N]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: v.into() }
+        Bytes::from_vec(v.into_vec())
     }
 }
 
 impl From<String> for Bytes {
     fn from(v: String) -> Self {
-        Bytes {
-            data: v.into_bytes().into(),
-        }
+        Bytes::from_vec(v.into_bytes())
     }
 }
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
-        Bytes {
-            data: iter.into_iter().collect(),
-        }
+        Bytes::from_vec(iter.into_iter().collect())
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.data == other
+        self.as_ref() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.data == other.as_slice()
+        self.as_ref() == other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self.as_slice() == &*other.data
+        self.as_slice() == other.as_ref()
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &*self.data == *other
+        self.as_ref() == *other
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_ref() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -190,6 +243,53 @@ mod tests {
         assert_eq!(a.slice(1..3).to_vec(), vec![1, 2]);
         assert_eq!(a.slice(..).to_vec(), a.to_vec());
         assert_eq!(a.slice(3..).to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn from_vec_adopts_allocation() {
+        let v = vec![1u8, 2, 3];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), p, "From<Vec<u8>> must not copy");
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = a.slice(2..4);
+        assert_eq!(
+            s.as_ref().as_ptr(),
+            a.as_ref()[2..].as_ptr(),
+            "same allocation"
+        );
+        let ss = s.slice(1..2);
+        assert_eq!(ss.to_vec(), vec![3]);
+        assert_eq!(
+            ss.as_ref().as_ptr(),
+            a.as_ref()[3..].as_ptr(),
+            "nested view"
+        );
+    }
+
+    #[test]
+    fn equality_is_by_contents_not_backing() {
+        let a = Bytes::from(vec![9, 1, 2, 9]);
+        let b = Bytes::from(vec![1, 2]);
+        assert_eq!(a.slice(1..3), b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        a.slice(1..3).hash(&mut ha);
+        let mut hb = DefaultHasher::new();
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish(), "hash follows contents");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let _ = a.slice(1..5);
     }
 
     #[test]
