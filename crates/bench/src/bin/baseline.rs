@@ -1,11 +1,14 @@
-//! Recorded perf baseline for the erasure hot path.
+//! Recorded perf baseline for the erasure and simulation-core hot paths.
 //!
-//! Runs the codec microbenchmarks at the paper's `[16, 19]` shape plus two
-//! end-to-end convergence scenarios (failure-free and failure-injected),
-//! each once with the codec's reference implementation
-//! ([`Codec::set_reference_mode`]) — the "before" — and once with the
-//! flat-table fast path — the "after" — and writes the numbers to
-//! `BENCH_codec.json` and `BENCH_convergence.json` at the repo root, so
+//! Runs the codec microbenchmarks at the paper's `[16, 19]` shape, engine
+//! microbenchmarks (event-queue storm, timer churn, metrics recording,
+//! parallel sweep), and two end-to-end convergence scenarios
+//! (failure-free and failure-injected). Every benchmark is measured once
+//! per implementation *generation* — the seed reference code
+//! (`before-logexp`), the flat-table erasure rewrite (`after-flat-table`),
+//! and the packed-kernel + timing-wheel + 4-lane-checksum simulation core
+//! (`after-sim-core`) — and the numbers land in `BENCH_codec.json`,
+//! `BENCH_engine.json`, and `BENCH_convergence.json` at the repo root, so
 //! this and every future PR records comparable before/after throughput.
 //!
 //! ```text
@@ -18,12 +21,19 @@
 //! runner whose only nondeterministic input is the wall clock it measures
 //! with.
 
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::hint::black_box;
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
-use erasure::Codec;
+use erasure::{Checksum, Codec, CodecImpl};
 use pahoehoe::cluster::{Cluster, ClusterConfig};
-use simnet::FaultPlan;
-use simnet::{SimDuration, SimTime};
+use pahoehoe::messages::Message;
+use simnet::{
+    Actor, Context, FaultPlan, Metrics, NodeId, Payload, SimDuration, SimTime, Simulation, TimerId,
+};
 
 // Wall-clock use is the entire point of a benchmark runner; virtual time
 // cannot measure real throughput.
@@ -43,11 +53,55 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// The container this runs in shares a single core with other tenants, so
 /// a lone timing pass can be off by 30%+; the minimum over a few passes is
 /// the standard robust estimator for "how fast does this code actually
-/// run", and it is applied identically to the before and after variants.
+/// run", and it is applied identically to every generation.
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
     (0..reps)
         .map(|_| timed(&mut f).1)
         .fold(f64::INFINITY, f64::min)
+}
+
+/// One implementation generation: which codec path, checksum, and event
+/// queue the whole stack runs on. Each PR's optimizations land as a new
+/// generation so the recorded speedups attribute honestly.
+struct Generation {
+    label: &'static str,
+    codec: CodecImpl,
+    reference_checksum: bool,
+    reference_queue: bool,
+}
+
+const GENERATIONS: [Generation; 3] = [
+    Generation {
+        label: "before-logexp",
+        codec: CodecImpl::Reference,
+        reference_checksum: true,
+        reference_queue: true,
+    },
+    Generation {
+        label: "after-flat-table",
+        codec: CodecImpl::FlatTable,
+        reference_checksum: true,
+        reference_queue: true,
+    },
+    Generation {
+        label: "after-sim-core",
+        codec: CodecImpl::Packed,
+        reference_checksum: false,
+        reference_queue: false,
+    },
+];
+
+impl Generation {
+    fn apply(&self) {
+        Codec::set_impl_mode(self.codec);
+        Checksum::set_reference_mode(self.reference_checksum);
+        simnet::set_reference_queue_mode(self.reference_queue);
+    }
+}
+
+/// Restores the production configuration (the last generation).
+fn reset_modes() {
+    GENERATIONS[GENERATIONS.len() - 1].apply();
 }
 
 /// The paper's wide stripe shape for throughput reporting.
@@ -61,8 +115,14 @@ struct CodecNumbers {
 }
 
 /// Encode/decode throughput (MB/s, MB = 10^6 bytes) at `[16, 19]`.
-fn codec_bench(reference: bool, value_len: usize, iters: usize, reps: usize) -> CodecNumbers {
-    Codec::set_reference_mode(reference);
+fn codec_bench(
+    label: &'static str,
+    mode: CodecImpl,
+    value_len: usize,
+    iters: usize,
+    reps: usize,
+) -> CodecNumbers {
+    Codec::set_impl_mode(mode);
     let codec = Codec::new(SHAPE_K, SHAPE_N).unwrap();
     let value: Vec<u8> = (0..value_len).map(|i| (i * 31 % 251) as u8).collect();
 
@@ -87,14 +147,10 @@ fn codec_bench(reference: bool, value_len: usize, iters: usize, reps: usize) -> 
         }
     });
 
-    Codec::set_reference_mode(false);
+    reset_modes();
     let bytes = (iters * value_len) as f64;
     CodecNumbers {
-        label: if reference {
-            "before-logexp"
-        } else {
-            "after-flat-table"
-        },
+        label,
         encode_mb_s: bytes / encode_secs / 1e6,
         decode_mb_s: bytes / decode_secs / 1e6,
     }
@@ -113,13 +169,13 @@ struct ConvergenceNumbers {
 /// One end-to-end convergence run: the paper's cluster and workload shape
 /// (scaled down in smoke mode), optionally under faults.
 fn convergence_bench(
-    reference: bool,
+    generation: &Generation,
     puts: usize,
     value_len: usize,
     faulty: bool,
     reps: usize,
 ) -> ConvergenceNumbers {
-    Codec::set_reference_mode(reference);
+    generation.apply();
     let build = || {
         let mut config = ClusterConfig::paper_workload();
         config.workload_puts = puts;
@@ -153,20 +209,237 @@ fn convergence_bench(
         wall_secs = wall_secs.min(secs);
         measured = Some((cluster.sim().events_processed(), report));
     }
-    Codec::set_reference_mode(false);
+    reset_modes();
     let (events, report) = measured.expect("reps >= 1");
     ConvergenceNumbers {
-        label: if reference {
-            "before-logexp"
-        } else {
-            "after-flat-table"
-        },
+        label: generation.label,
         events,
         wall_secs,
         events_per_wall_sec: events as f64 / wall_secs,
         sim_time_secs: report.sim_time.as_secs_f64(),
         converged: report.outcome == simnet::RunOutcome::PredicateSatisfied,
         puts_succeeded: report.puts_succeeded,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine microbenchmarks (BENCH_engine.json).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Tok(u32);
+
+impl Payload for Tok {
+    const KINDS: &'static [&'static str] = &["Tok"];
+    fn kind_id(&self) -> usize {
+        0
+    }
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// Forwards a token around a ring until its hop budget runs out.
+struct Fwd {
+    next: NodeId,
+}
+
+impl Actor<Tok> for Fwd {
+    fn on_message(&mut self, ctx: &mut Context<'_, Tok>, _from: NodeId, msg: Tok) {
+        if msg.0 > 0 {
+            ctx.send(self.next, Tok(msg.0 - 1));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Tok>, tag: u64) {
+        ctx.send(self.next, Tok(tag as u32));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// On every firing: schedule four timers, cancel three — the
+/// generation-stamp retirement path — and let the fourth keep the chain
+/// alive until the budget is spent.
+struct Churner {
+    budget: Rc<Cell<u64>>,
+}
+
+impl Actor<Tok> for Churner {
+    fn on_message(&mut self, _ctx: &mut Context<'_, Tok>, _from: NodeId, _msg: Tok) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Tok>, _tag: u64) {
+        let b = self.budget.get();
+        if b == 0 {
+            return;
+        }
+        self.budget.set(b - 1);
+        let ids: Vec<TimerId> = (0..4)
+            .map(|i| ctx.schedule_timer(SimDuration::from_millis(5 + 7 * i), 0))
+            .collect();
+        for id in &ids[1..] {
+            ctx.cancel_timer(*id);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct QueueNumbers {
+    label: &'static str,
+    units: u64,
+    units_per_sec: f64,
+}
+
+/// Raw event-dispatch throughput: `chains` concurrent token chains
+/// around an 8-node ring, every event a wheel (or heap) push + pop. The
+/// chain count is the steady-state queue depth: at 64 the heap's whole
+/// array sits in L1, at a few thousand it pays log-depth sifts over
+/// cache-cold levels while the wheel's costs stay flat.
+fn queue_storm_bench(reference_queue: bool, chains: u64, hops: u32, reps: usize) -> QueueNumbers {
+    let run = || {
+        let mut sim: Simulation<Tok> = Simulation::new(1);
+        sim.use_reference_queue(reference_queue);
+        for i in 0..8u32 {
+            sim.add_actor(Fwd {
+                next: NodeId::new((i + 1) % 8),
+            });
+        }
+        for c in 0..chains {
+            sim.schedule_timer(
+                NodeId::new((c % 8) as u32),
+                SimDuration::from_micros(500 + 13 * c),
+                u64::from(hops),
+            );
+        }
+        sim.run_until_quiescent();
+        sim.events_processed()
+    };
+    let events = run();
+    let secs = best_of(reps, || {
+        black_box(run());
+    });
+    QueueNumbers {
+        label: if reference_queue {
+            "reference-heap"
+        } else {
+            "timing-wheel"
+        },
+        units: events,
+        units_per_sec: events as f64 / secs,
+    }
+}
+
+/// Timer schedule/cancel/fire churn: every firing performs four schedules
+/// and three cancels, so cancelled-timer retirement dominates.
+fn timer_churn_bench(reference_queue: bool, firings: u64, reps: usize) -> QueueNumbers {
+    let run = || {
+        let mut sim: Simulation<Tok> = Simulation::new(2);
+        sim.use_reference_queue(reference_queue);
+        let budget = Rc::new(Cell::new(firings));
+        sim.add_actor(Churner {
+            budget: budget.clone(),
+        });
+        sim.schedule_timer(NodeId::new(0), SimDuration::from_millis(1), 0);
+        sim.run_until_quiescent();
+        sim.events_processed()
+    };
+    let events = run();
+    // Eight timer operations per firing: 4 schedules, 3 cancels, 1 fire.
+    let ops = firings * 8;
+    let secs = best_of(reps, || {
+        black_box(run());
+    });
+    QueueNumbers {
+        label: if reference_queue {
+            "reference-heap"
+        } else {
+            "timing-wheel"
+        },
+        units: ops.max(events),
+        units_per_sec: ops as f64 / secs,
+    }
+}
+
+/// Per-send metrics recording: the dense kind-registry array against the
+/// seed's BTreeMap-by-label scheme (reconstructed inline as the baseline).
+fn metrics_bench(dense: bool, ops: u64, reps: usize) -> QueueNumbers {
+    let registry = <Message as Payload>::KINDS;
+    let secs = if dense {
+        let mut m = Metrics::with_registry(registry);
+        best_of(reps, || {
+            for i in 0..ops {
+                m.record_send((i % registry.len() as u64) as usize, 120);
+            }
+            black_box(m.total_count());
+        })
+    } else {
+        let mut map: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        best_of(reps, || {
+            for i in 0..ops {
+                let e = map
+                    .entry(registry[(i % registry.len() as u64) as usize])
+                    .or_insert((0, 0));
+                e.0 += 1;
+                e.1 += 120;
+            }
+            black_box(map.len());
+        })
+    };
+    QueueNumbers {
+        label: if dense { "dense-array" } else { "btreemap" },
+        units: ops,
+        units_per_sec: ops as f64 / secs,
+    }
+}
+
+struct SweepNumbers {
+    scenarios: usize,
+    workers: usize,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    identical: bool,
+}
+
+/// The deterministic parallel sweep harness over a batch of small
+/// convergence runs: sequential vs. two workers, asserting identical
+/// results (the whole point of the harness).
+fn sweep_bench(scenarios: usize, reps: usize) -> SweepNumbers {
+    let run = |workers: usize| {
+        simnet::sweep::map_indexed((0..scenarios as u64).collect(), workers, |_, seed| {
+            let mut cfg = ClusterConfig::paper_default();
+            cfg.workload_puts = 2;
+            cfg.workload_value_len = 4096;
+            let mut cluster = Cluster::build(cfg, seed);
+            let report = cluster.run_to_convergence();
+            (
+                cluster.sim().events_processed(),
+                report.sim_time.as_micros(),
+                report.puts_succeeded,
+            )
+        })
+    };
+    let seq = run(1);
+    let par = run(2);
+    let identical = seq == par;
+    let sequential_secs = best_of(reps, || {
+        black_box(run(1));
+    });
+    let parallel_secs = best_of(reps, || {
+        black_box(run(2));
+    });
+    SweepNumbers {
+        scenarios,
+        workers: 2,
+        sequential_secs,
+        parallel_secs,
+        identical,
     }
 }
 
@@ -194,7 +467,8 @@ fn codec_json(mode: &str, value_len: usize, iters: usize, entries: &[CodecNumber
             )
         })
         .collect();
-    let speedup = |f: fn(&CodecNumbers) -> f64| jf(f(&entries[1]) / f(&entries[0]));
+    let last = entries.last().expect("at least one entry");
+    let speedup = |f: fn(&CodecNumbers) -> f64| jf(f(last) / f(&entries[0]));
     format!(
         "{{\n  \"bench\": \"codec\",\n  \"mode\": \"{mode}\",\n  \"shape\": {{ \"k\": {SHAPE_K}, \"n\": {SHAPE_N} }},\n  \"value_len\": {value_len},\n  \"iters\": {iters},\n  \"entries\": [\n{}\n  ],\n  \"encode_speedup\": {},\n  \"decode_speedup\": {}\n}}\n",
         rows.join(",\n"),
@@ -221,9 +495,12 @@ fn convergence_scenario_json(name: &str, entries: &[ConvergenceNumbers]) -> Stri
             )
         })
         .collect();
+    let last = entries.last().expect("at least one entry");
     format!(
-        "    {{\n      \"name\": \"{name}\",\n      \"entries\": [\n{}\n      ]\n    }}",
-        rows.join(",\n")
+        "    {{\n      \"name\": \"{name}\",\n      \"entries\": [\n{}\n      ],\n      \"speedup_vs_before\": {},\n      \"speedup_vs_flat_table\": {}\n    }}",
+        rows.join(",\n"),
+        jf(last.events_per_wall_sec / entries[0].events_per_wall_sec),
+        jf(last.events_per_wall_sec / entries[1].events_per_wall_sec),
     )
 }
 
@@ -231,6 +508,37 @@ fn convergence_json(mode: &str, puts: usize, value_len: usize, scenarios: &[Stri
     format!(
         "{{\n  \"bench\": \"convergence\",\n  \"mode\": \"{mode}\",\n  \"seed\": 42,\n  \"workload\": {{ \"puts\": {puts}, \"value_len\": {value_len} }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         scenarios.join(",\n")
+    )
+}
+
+fn pair_json(name: &str, unit: &str, entries: &[QueueNumbers]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "      {{ \"impl\": \"{}\", \"{unit}\": {} }}",
+                e.label,
+                jf(e.units_per_sec)
+            )
+        })
+        .collect();
+    format!(
+        "  \"{name}\": {{\n    \"units\": {},\n    \"entries\": [\n{}\n    ],\n    \"speedup\": {}\n  }}",
+        entries[0].units,
+        rows.join(",\n"),
+        jf(entries[entries.len() - 1].units_per_sec / entries[0].units_per_sec),
+    )
+}
+
+fn engine_json(mode: &str, sections: &[String], sweep: &SweepNumbers) -> String {
+    format!(
+        "{{\n  \"bench\": \"engine\",\n  \"mode\": \"{mode}\",\n{},\n  \"sweep\": {{ \"scenarios\": {}, \"workers\": {}, \"sequential_secs\": {}, \"parallel_secs\": {}, \"identical_results\": {} }}\n}}\n",
+        sections.join(",\n"),
+        sweep.scenarios,
+        sweep.workers,
+        jf(sweep.sequential_secs),
+        jf(sweep.parallel_secs),
+        sweep.identical,
     )
 }
 
@@ -253,8 +561,21 @@ fn main() {
          {iters} iters, best of {reps}"
     );
     let codec_entries = [
-        codec_bench(true, value_len, iters, reps),
-        codec_bench(false, value_len, iters, reps),
+        codec_bench(
+            "before-logexp",
+            CodecImpl::Reference,
+            value_len,
+            iters,
+            reps,
+        ),
+        codec_bench(
+            "after-flat-table",
+            CodecImpl::FlatTable,
+            value_len,
+            iters,
+            reps,
+        ),
+        codec_bench("after-packed", CodecImpl::Packed, value_len, iters, reps),
     ];
     for e in &codec_entries {
         eprintln!(
@@ -264,17 +585,71 @@ fn main() {
     }
     eprintln!(
         "  encode speedup: {:.2}x, decode speedup: {:.2}x",
-        codec_entries[1].encode_mb_s / codec_entries[0].encode_mb_s,
-        codec_entries[1].decode_mb_s / codec_entries[0].decode_mb_s
+        codec_entries[2].encode_mb_s / codec_entries[0].encode_mb_s,
+        codec_entries[2].decode_mb_s / codec_entries[0].decode_mb_s
+    );
+
+    let (storm_hops, dense_chains, churn_firings, metric_ops, sweep_scenarios) = if smoke {
+        (400u32, 2_048u64, 4_000u64, 1_000_000u64, 4usize)
+    } else {
+        (4_000, 4_096, 40_000, 10_000_000, 8)
+    };
+    eprintln!("engine microbench (queue storm, timer churn, metrics, sweep)");
+    let storm = [
+        queue_storm_bench(true, 64, storm_hops, reps),
+        queue_storm_bench(false, 64, storm_hops, reps),
+    ];
+    let storm_dense = [
+        queue_storm_bench(true, dense_chains, storm_hops / 8, reps),
+        queue_storm_bench(false, dense_chains, storm_hops / 8, reps),
+    ];
+    let churn = [
+        timer_churn_bench(true, churn_firings, reps),
+        timer_churn_bench(false, churn_firings, reps),
+    ];
+    let metrics = [
+        metrics_bench(false, metric_ops, reps),
+        metrics_bench(true, metric_ops, reps),
+    ];
+    for (name, pair) in [
+        ("storm x64", &storm),
+        ("storm dense", &storm_dense),
+        ("timer churn", &churn),
+        ("metrics", &metrics),
+    ] {
+        for e in pair {
+            eprintln!(
+                "  {name:>12} {:>16}: {:>12.0} units/s",
+                e.label, e.units_per_sec
+            );
+        }
+        eprintln!(
+            "  {name:>12} speedup: {:.2}x",
+            pair[1].units_per_sec / pair[0].units_per_sec
+        );
+    }
+    let sweep = sweep_bench(sweep_scenarios, reps);
+    assert!(
+        sweep.identical,
+        "parallel sweep must match sequential results exactly"
+    );
+    eprintln!(
+        "  {:>12} {} scenarios: sequential {:.2}s, {} workers {:.2}s (identical: {})",
+        "sweep",
+        sweep.scenarios,
+        sweep.sequential_secs,
+        sweep.workers,
+        sweep.parallel_secs,
+        sweep.identical
     );
 
     eprintln!("convergence scenarios ({puts} puts x {workload_value_len} bytes, seed 42)");
     let mut scenario_blocks = Vec::new();
     for (name, faulty) in [("failure-free", false), ("failure-injected", true)] {
-        let entries = [
-            convergence_bench(true, puts, workload_value_len, faulty, reps),
-            convergence_bench(false, puts, workload_value_len, faulty, reps),
-        ];
+        let entries: Vec<ConvergenceNumbers> = GENERATIONS
+            .iter()
+            .map(|g| convergence_bench(g, puts, workload_value_len, faulty, reps))
+            .collect();
         for e in &entries {
             eprintln!(
                 "  {name:>16} {:>16}: {:>8} events in {:>7.2}s = {:>9.0} events/s \
@@ -292,17 +667,27 @@ fn main() {
 
     let root = repo_root();
     let codec_path = root.join("BENCH_codec.json");
+    let engine_path = root.join("BENCH_engine.json");
     let conv_path = root.join("BENCH_convergence.json");
     std::fs::write(
         &codec_path,
         codec_json(mode, value_len, iters, &codec_entries),
     )
     .expect("write BENCH_codec.json");
+    let sections = vec![
+        pair_json("queue_storm_sparse", "events_per_wall_sec", &storm),
+        pair_json("queue_storm_dense", "events_per_wall_sec", &storm_dense),
+        pair_json("timer_churn", "timer_ops_per_wall_sec", &churn),
+        pair_json("metrics", "records_per_wall_sec", &metrics),
+    ];
+    std::fs::write(&engine_path, engine_json(mode, &sections, &sweep))
+        .expect("write BENCH_engine.json");
     std::fs::write(
         &conv_path,
         convergence_json(mode, puts, workload_value_len, &scenario_blocks),
     )
     .expect("write BENCH_convergence.json");
     eprintln!("wrote {}", codec_path.display());
+    eprintln!("wrote {}", engine_path.display());
     eprintln!("wrote {}", conv_path.display());
 }

@@ -16,6 +16,11 @@
 //!   convergence in every scenario, to prove the checker catches it;
 //! * `--trace-out PATH` — where to write the violation trace (default
 //!   `target/check-violation.trace`);
+//! * `--workers N` — run the sweep through the deterministic parallel
+//!   harness with `N` worker threads (default: the sequential sweep; the
+//!   two produce byte-identical digests);
+//! * `--digest-out PATH` — write one replay-digest line per scenario, for
+//!   comparing sequential and parallel runs byte for byte;
 //! * `--quiet` — suppress per-scenario progress lines.
 
 use std::path::PathBuf;
@@ -26,7 +31,8 @@ use check::explorer::{self, Injection, SweepConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: explore [--smoke] [--seeds N] [--puts N] [--value-len N] \
-         [--inject-corruption] [--trace-out PATH] [--quiet]"
+         [--inject-corruption] [--trace-out PATH] [--workers N] \
+         [--digest-out PATH] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -35,6 +41,8 @@ fn main() -> ExitCode {
     let mut cfg = SweepConfig::full();
     let mut injection = Injection::None;
     let mut trace_out = PathBuf::from("target/check-violation.trace");
+    let mut digest_out: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -55,6 +63,10 @@ fn main() -> ExitCode {
             "--value-len" => cfg.workload.value_len = num(&mut args),
             "--inject-corruption" => injection = Injection::CorruptFragment,
             "--trace-out" => trace_out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--workers" => workers = Some(num(&mut args)),
+            "--digest-out" => {
+                digest_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
             "--quiet" => quiet = true,
             _ => usage(),
         }
@@ -72,7 +84,12 @@ fn main() -> ExitCode {
     );
 
     let mut n = 0usize;
-    let result = explorer::sweep(&cfg, injection, |sc, outcome| {
+    let mut digest = String::new();
+    let mut on_scenario = |sc: &explorer::Scenario, outcome: &explorer::ScenarioOutcome| {
+        if digest_out.is_some() {
+            digest.push_str(&explorer::digest_line(n, sc, outcome));
+            digest.push('\n');
+        }
         n += 1;
         if !quiet {
             println!(
@@ -93,7 +110,22 @@ fn main() -> ExitCode {
                 },
             );
         }
-    });
+    };
+    let result = match workers {
+        Some(w) => explorer::sweep_parallel(&cfg, injection, w, &mut on_scenario),
+        None => explorer::sweep(&cfg, injection, &mut on_scenario),
+    };
+
+    if let Some(path) = &digest_out {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, &digest) {
+            eprintln!("failed to write digest {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("digest: {n} lines written to {}", path.display());
+    }
 
     match result.violation {
         None => {

@@ -493,3 +493,74 @@ pub fn sweep(
         violation: None,
     }
 }
+
+/// Like [`sweep`], but fans the scenarios out across `workers` scoped
+/// threads via [`simnet::sweep::map_indexed`].
+///
+/// The result is **identical** to the sequential sweep: outcomes are
+/// merged in scenario order, `progress` fires in scenario order, and the
+/// walk stops at the first violating scenario *by that order* (later
+/// scenarios may have been speculatively run by other workers, but their
+/// outcomes are discarded exactly as if they had never run). Each
+/// scenario run is a pure function of its recipe, so worker scheduling
+/// cannot leak into any outcome.
+pub fn sweep_parallel(
+    cfg: &SweepConfig,
+    injection: Injection,
+    workers: usize,
+    mut progress: impl FnMut(&Scenario, &ScenarioOutcome),
+) -> SweepResult {
+    let outcomes = simnet::sweep::map_indexed(cfg.scenarios(), workers, |_, sc| {
+        let outcome = run_scenario(&sc, &cfg.workload, injection, false);
+        (sc, outcome)
+    });
+
+    let mut events_checked = 0u64;
+    let mut scenarios_run = 0usize;
+    for (sc, outcome) in &outcomes {
+        scenarios_run += 1;
+        events_checked += outcome.events;
+        progress(sc, outcome);
+        if outcome.violation.is_some() {
+            let shrunk = shrink(sc, &cfg.workload, injection);
+            let shrunk_outcome = run_scenario(&shrunk, &cfg.workload, injection, true);
+            let violation = shrunk_outcome
+                .violation
+                .expect("shrink preserves the violation");
+            return SweepResult {
+                scenarios_run,
+                events_checked,
+                violation: Some(ViolationReport {
+                    original: sc.clone(),
+                    shrunk,
+                    violation,
+                    trace: shrunk_outcome.trace.unwrap_or_default(),
+                }),
+            };
+        }
+    }
+    SweepResult {
+        scenarios_run,
+        events_checked,
+        violation: None,
+    }
+}
+
+/// One line of the sweep's replay digest: every deterministic observable
+/// of a scenario run, including a checksum of the full traffic-metrics
+/// rendering. Byte-identical digests across the sequential and parallel
+/// harnesses are what the CI determinism check compares.
+pub fn digest_line(index: usize, sc: &Scenario, outcome: &ScenarioOutcome) -> String {
+    format!(
+        "{index:03} seed={} preset={} drop={} dup={} outages={} -> {:?} events={} t={}us metrics={:016x}",
+        sc.seed,
+        sc.preset.name(),
+        sc.faults.drop_centi,
+        sc.faults.dup_centi,
+        sc.faults.outages.len(),
+        outcome.outcome,
+        outcome.events,
+        outcome.sim_time.as_micros(),
+        erasure::Checksum::of(outcome.metrics_digest.as_bytes()).as_u64(),
+    )
+}

@@ -1,0 +1,45 @@
+// Fixture: the simulation core's declared hot paths — the timing-wheel
+// dispatch loop and the per-send metrics update — with the allocating
+// regressions the lint must catch if they ever creep back in.
+
+struct Wheel {
+    slots: Vec<Vec<u64>>,
+    cursor: usize,
+}
+
+impl Wheel {
+    // lint:hot
+    fn pop_regressed(&mut self) -> Option<u64> {
+        // Regression: draining a slot by copying it out allocates on
+        // every dispatch.
+        let drained = self.slots[self.cursor].to_vec();
+        self.slots[self.cursor].clear();
+        drained.first().copied()
+    }
+
+    // lint:hot
+    fn pop_clean(&mut self) -> Option<u64> {
+        let slot = &mut self.slots[self.cursor];
+        slot.pop()
+    }
+}
+
+struct Metrics {
+    counts: Vec<u64>,
+}
+
+impl Metrics {
+    // lint:hot
+    fn record_send_regressed(&mut self, kind_id: usize, label: &[u8]) {
+        // Regression: building a per-call key buffer turns the O(1)
+        // array bump back into an allocating map-style update.
+        let mut key = Vec::new();
+        key.extend_from_slice(label);
+        self.counts[kind_id % key.len().max(1)] += 1;
+    }
+
+    // lint:hot
+    fn record_send_clean(&mut self, kind_id: usize) {
+        self.counts[kind_id] += 1;
+    }
+}

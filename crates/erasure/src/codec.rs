@@ -9,7 +9,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use bytes::Bytes;
 
@@ -18,9 +18,33 @@ use crate::fragment::{Fragment, FragmentIndex};
 use crate::gf;
 use crate::matrix::Matrix;
 
-/// Process-wide switch to the pre-optimization reference implementation;
-/// see [`Codec::set_reference_mode`].
-static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+/// Selects which generation of the codec implementation runs; see
+/// [`Codec::set_impl_mode`]. All three produce byte-identical fragments —
+/// only the cost differs — so the benchmark baseline can attribute
+/// speedups honestly to each generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodecImpl {
+    /// The seed implementation: per-shard allocations, byte-at-a-time
+    /// log/exp arithmetic, a fresh Gaussian elimination per decode.
+    Reference,
+    /// Flat 256-entry multiplication tables with word-wide accumulation
+    /// and the decode-matrix inversion cache, one parity row at a time.
+    FlatTable,
+    /// Everything in `FlatTable`, plus the packed-parity encode kernel:
+    /// one table lookup per data byte yields all `n - k` parity products
+    /// at once (byte lanes of a `u64`), de-interleaved by an in-register
+    /// 8×8 byte transpose. Applies when `1 <= n - k <= 8`; other shapes
+    /// fall back to `FlatTable` behavior. This is the default.
+    Packed,
+}
+
+/// Process-wide codec implementation selector; see
+/// [`Codec::set_impl_mode`].
+static IMPL_MODE: AtomicU8 = AtomicU8::new(IMPL_PACKED);
+
+const IMPL_REFERENCE: u8 = 0;
+const IMPL_FLAT_TABLE: u8 = 1;
+const IMPL_PACKED: u8 = 2;
 
 /// Upper bound on cached decode-matrix inversions per codec.
 ///
@@ -90,10 +114,17 @@ pub struct Codec {
     k: usize,
     n: usize,
     generator: Matrix,
+    // Per-data-row packed parity tables: `packed[d][b]` holds the products
+    // `gen[k+p][d] · b` for every parity row `p`, one per byte lane of the
+    // `u64`. Empty when the shape has no parity or more than 8 parity rows.
+    packed: Vec<[u64; 256]>,
     // Interior mutability so `decode`/`recover` stay `&self`; the codec
     // lives inside single-threaded simulation actors, which never needed
     // `Sync`. `Send` is preserved (no `Rc` inside).
     inversions: RefCell<InversionCache>,
+    // Scratch for the packed encode kernel (position-major packed parity
+    // words), reused across calls so the hot path allocates nothing.
+    inter: RefCell<Vec<u64>>,
 }
 
 impl Codec {
@@ -113,11 +144,30 @@ impl Codec {
             .expect("top block of a Vandermonde matrix is invertible");
         let generator = vandermonde.mul(&top_inv);
         debug_assert!(generator.submatrix(k, k).is_identity());
+        let packed = if (1..=8).contains(&(n - k)) {
+            (0..k)
+                .map(|d| {
+                    let mut t = [0u64; 256];
+                    for (b, e) in t.iter_mut().enumerate() {
+                        let mut w = 0u64;
+                        for p in 0..(n - k) {
+                            w |= u64::from(gf::mul_row(generator.get(k + p, d))[b]) << (8 * p);
+                        }
+                        *e = w;
+                    }
+                    t
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(Codec {
             k,
             n,
             generator,
+            packed,
             inversions: RefCell::new(InversionCache::default()),
+            inter: RefCell::new(Vec::new()),
         })
     }
 
@@ -164,7 +214,8 @@ impl Codec {
     // lint:hot
     pub fn encode_into(&self, value: &[u8], out: &mut Vec<Fragment>) {
         out.clear();
-        if Self::reference_mode() {
+        let mode = Self::impl_mode();
+        if mode == CodecImpl::Reference {
             self.encode_reference_into(value, out);
             return;
         }
@@ -175,14 +226,18 @@ impl Codec {
         stripe.extend_from_slice(value);
         stripe.resize(self.n * flen, 0);
         let (data, parity) = stripe.split_at_mut(self.k * flen);
-        for row in self.k..self.n {
-            let seg = &mut parity[(row - self.k) * flen..(row - self.k + 1) * flen];
-            for i in 0..self.k {
-                gf::mul_acc(
-                    seg,
-                    &data[i * flen..(i + 1) * flen],
-                    self.generator.get(row, i),
-                );
+        if mode == CodecImpl::Packed && !self.packed.is_empty() {
+            self.encode_parity_packed(data, parity, flen);
+        } else {
+            for row in self.k..self.n {
+                let seg = &mut parity[(row - self.k) * flen..(row - self.k + 1) * flen];
+                for i in 0..self.k {
+                    gf::mul_acc(
+                        seg,
+                        &data[i * flen..(i + 1) * flen],
+                        self.generator.get(row, i),
+                    );
+                }
             }
         }
         let backing = Bytes::from(stripe);
@@ -192,6 +247,67 @@ impl Codec {
                 i as FragmentIndex,
                 backing.slice(i * flen..(i + 1) * flen),
             ));
+        }
+    }
+
+    /// Fills the `(n - k) * flen` parity region from the `k * flen` data
+    /// region using the packed tables: one lookup per data byte produces
+    /// the products for **all** parity rows at once (byte lanes of a
+    /// `u64`), XOR-accumulated position-major, then de-interleaved into
+    /// row-major parity by an in-register 8×8 byte transpose.
+    ///
+    /// Byte-identical to the row-at-a-time [`gf::mul_acc`] loop: the lanes
+    /// are the same GF(2⁸) products, and XOR never crosses lanes.
+    // lint:hot
+    fn encode_parity_packed(&self, data: &[u8], parity: &mut [u8], flen: usize) {
+        let pk = self.n - self.k;
+        let mut inter = self.inter.borrow_mut();
+        inter.clear();
+        inter.resize(flen, 0);
+        if self.k == 4 {
+            // The paper's default policy (k=4, n=12) gets a fully unrolled
+            // gather: four loads, four lookups, three XORs per position.
+            let (t0, t1, t2, t3) = (
+                &self.packed[0],
+                &self.packed[1],
+                &self.packed[2],
+                &self.packed[3],
+            );
+            let (d0, rest) = data.split_at(flen);
+            let (d1, rest) = rest.split_at(flen);
+            let (d2, d3) = rest.split_at(flen);
+            for (j, w) in inter.iter_mut().enumerate() {
+                *w = t0[d0[j] as usize]
+                    ^ t1[d1[j] as usize]
+                    ^ t2[d2[j] as usize]
+                    ^ t3[d3[j] as usize];
+            }
+        } else {
+            for (i, t) in self.packed.iter().enumerate() {
+                let d = &data[i * flen..(i + 1) * flen];
+                for (w, &b) in inter.iter_mut().zip(d) {
+                    *w ^= t[b as usize];
+                }
+            }
+        }
+        // Scatter: transpose each 8-position block of packed words into 8
+        // contiguous bytes per parity row. Lanes `pk..8` are zero and are
+        // simply not written.
+        let nb = flen / 8;
+        for blk in 0..nb {
+            let mut w = [0u64; 8];
+            w.copy_from_slice(&inter[blk * 8..blk * 8 + 8]);
+            transpose8x8(&mut w);
+            for (p, lane) in w.iter().enumerate().take(pk) {
+                parity[p * flen + blk * 8..p * flen + blk * 8 + 8]
+                    .copy_from_slice(&lane.to_le_bytes());
+            }
+        }
+        for j in nb * 8..flen {
+            let w = inter[j];
+            for p in 0..pk {
+                parity[p * flen + j] = (w >> (8 * p)) as u8;
+            }
         }
     }
 
@@ -427,25 +543,49 @@ impl Codec {
         self.inversions.borrow().entries.len()
     }
 
-    // ---- reference implementation (benchmark "before" baseline) ----
+    // ---- implementation-generation switch (benchmark baselines) ----
+
+    /// Selects which implementation generation every codec in the process
+    /// runs. Output bytes are identical in all modes — only the cost
+    /// changes — so this exists solely for the recorded benchmark baseline
+    /// (`cargo run -p bench --release --bin baseline`) to measure honest
+    /// before/after numbers through the full protocol stack, one
+    /// generation at a time. Not for production use.
+    pub fn set_impl_mode(mode: CodecImpl) {
+        let v = match mode {
+            CodecImpl::Reference => IMPL_REFERENCE,
+            CodecImpl::FlatTable => IMPL_FLAT_TABLE,
+            CodecImpl::Packed => IMPL_PACKED,
+        };
+        IMPL_MODE.store(v, Ordering::Relaxed);
+    }
+
+    /// The current process-wide [`CodecImpl`] selection.
+    pub fn impl_mode() -> CodecImpl {
+        match IMPL_MODE.load(Ordering::Relaxed) {
+            IMPL_REFERENCE => CodecImpl::Reference,
+            IMPL_FLAT_TABLE => CodecImpl::FlatTable,
+            _ => CodecImpl::Packed,
+        }
+    }
 
     /// Switches every codec in the process to the pre-optimization
     /// reference implementation: log/exp [`gf::mul_acc_ref`] arithmetic,
     /// per-shard allocations, and a fresh Gaussian elimination per decode
-    /// (no inversion cache).
-    ///
-    /// Output bytes are identical in both modes — only the cost changes —
-    /// so this exists solely for the recorded benchmark baseline
-    /// (`cargo run -p bench --release --bin baseline`) to measure honest
-    /// before/after numbers through the full protocol stack. Not for
-    /// production use.
+    /// (no inversion cache). Shorthand for
+    /// [`set_impl_mode`](Self::set_impl_mode) with
+    /// [`CodecImpl::Reference`] (on) or [`CodecImpl::Packed`] (off).
     pub fn set_reference_mode(enabled: bool) {
-        REFERENCE_MODE.store(enabled, Ordering::Relaxed);
+        Self::set_impl_mode(if enabled {
+            CodecImpl::Reference
+        } else {
+            CodecImpl::Packed
+        });
     }
 
     /// Whether [`set_reference_mode`](Self::set_reference_mode) is on.
     pub fn reference_mode() -> bool {
-        REFERENCE_MODE.load(Ordering::Relaxed)
+        Self::impl_mode() == CodecImpl::Reference
     }
 
     /// The seed implementation of `encode`, kept verbatim as the
@@ -499,6 +639,32 @@ impl Codec {
             shards.push(shard);
         }
         shards
+    }
+}
+
+/// Transposes an 8×8 byte matrix held in eight `u64`s (word `i` = row `i`,
+/// byte lane `j` = column `j`) in place, using the classic three-stage
+/// SWAR butterfly: swap 1×1 blocks across the diagonal of each 2×2 block,
+/// then 2×2 blocks within 4×4, then 4×4 halves.
+#[inline]
+fn transpose8x8(w: &mut [u64; 8]) {
+    const M0: u64 = 0x00ff_00ff_00ff_00ff;
+    const M1: u64 = 0x0000_ffff_0000_ffff;
+    const M2: u64 = 0x0000_0000_ffff_ffff;
+    for i in (0..8).step_by(2) {
+        let (a, b) = (w[i], w[i + 1]);
+        w[i] = (a & M0) | ((b & M0) << 8);
+        w[i + 1] = ((a >> 8) & M0) | (b & !M0);
+    }
+    for i in [0usize, 1, 4, 5] {
+        let (a, b) = (w[i], w[i + 2]);
+        w[i] = (a & M1) | ((b & M1) << 16);
+        w[i + 2] = ((a >> 16) & M1) | (b & !M1);
+    }
+    for i in 0..4 {
+        let (a, b) = (w[i], w[i + 4]);
+        w[i] = (a & M2) | ((b & M2) << 32);
+        w[i + 4] = ((a >> 32) & M2) | (b & !M2);
     }
 }
 
@@ -731,6 +897,60 @@ mod tests {
             c.recover(&subset, &[0, 3, 10], v.len()).unwrap(),
             "recover agrees across modes"
         );
+    }
+
+    #[test]
+    fn transpose8x8_is_a_transpose() {
+        let mut w = [0u64; 8];
+        for (r, word) in w.iter_mut().enumerate() {
+            for c in 0..8 {
+                *word |= ((r * 8 + c) as u64) << (8 * c);
+            }
+        }
+        transpose8x8(&mut w);
+        for (r, word) in w.iter().enumerate() {
+            for c in 0..8 {
+                assert_eq!((word >> (8 * c)) as u8, (c * 8 + r) as u8, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_encode_matches_flat_table_across_shapes() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        // Shapes straddle the packed-kernel applicability boundary (it
+        // needs 1..=8 parity rows; (4,4) has none and (2,12) has ten) and
+        // lengths cover empty, sub-block, odd-tail, and exact multiples
+        // of the 8-byte transpose block.
+        for (k, n) in [(4, 12), (16, 19), (1, 3), (2, 10), (3, 6), (4, 4), (2, 12)] {
+            let c = Codec::new(k, n).unwrap();
+            for len in [0usize, 1, 5, 7, 8, 9, 63, 64, 65, 1000, 4096] {
+                let v = value(len);
+                Codec::set_impl_mode(CodecImpl::FlatTable);
+                let flat = c.encode(&v);
+                Codec::set_impl_mode(CodecImpl::Packed);
+                let packed = c.encode(&v);
+                assert_eq!(flat, packed, "k={k} n={n} len={len}");
+            }
+        }
+        Codec::set_impl_mode(CodecImpl::Packed);
+    }
+
+    #[test]
+    fn impl_mode_round_trips() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        for mode in [
+            CodecImpl::Reference,
+            CodecImpl::FlatTable,
+            CodecImpl::Packed,
+        ] {
+            Codec::set_impl_mode(mode);
+            assert_eq!(Codec::impl_mode(), mode);
+        }
+        Codec::set_reference_mode(true);
+        assert_eq!(Codec::impl_mode(), CodecImpl::Reference);
+        Codec::set_reference_mode(false);
+        assert_eq!(Codec::impl_mode(), CodecImpl::Packed);
     }
 
     #[test]

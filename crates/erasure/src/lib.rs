@@ -44,6 +44,6 @@ pub mod matrix;
 mod error;
 
 pub use checksum::Checksum;
-pub use codec::Codec;
+pub use codec::{Codec, CodecImpl};
 pub use error::CodecError;
 pub use fragment::{Fragment, FragmentIndex};

@@ -7,7 +7,7 @@
 //! Usage: `cargo run -p experiments --release --bin fig8 [--quick]`
 
 use experiments::figures::{fig8, FigureOptions};
-use experiments::table::{render, render_csv, render_run_stats, Unit};
+use experiments::table::{render, render_csv, render_drops, render_run_stats, Unit};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -41,6 +41,10 @@ fn main() {
         )
     );
     println!("{}", render_run_stats(&results));
+    let drops = render_drops("Figure 8 - messages lost to KLS outages", &results);
+    if !drops.is_empty() {
+        println!("{drops}");
+    }
     if csv {
         std::fs::write("fig8_bytes.csv", render_csv(&results, Unit::Bytes))
             .expect("write fig8_bytes.csv");

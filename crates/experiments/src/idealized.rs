@@ -140,6 +140,9 @@ pub fn as_config_result(
         label: "Idealized".to_string(),
         kind_counts,
         kind_bytes,
+        kind_drops: BTreeMap::new(),
+        dropped_fault: constant(0.0),
+        dropped_random: constant(0.0),
         total_count: constant(total_c as f64),
         total_bytes: constant(total_b as f64),
         sim_secs: constant(0.0),

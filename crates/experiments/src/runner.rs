@@ -1,7 +1,6 @@
 //! Parallel multi-seed trial execution and aggregation.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 use pahoehoe::cluster::{Cluster, ConvergenceReport};
 use simnet::RunOutcome;
@@ -11,44 +10,21 @@ use stats::{Accumulator, Summary};
 /// cores, and returns the convergence reports in seed order.
 ///
 /// `build` constructs a fresh cluster for a seed; each trial runs
-/// [`Cluster::run_to_convergence`].
+/// [`Cluster::run_to_convergence`]. Fan-out goes through the shared
+/// deterministic sweep harness ([`simnet::sweep::map_indexed`]), so the
+/// reports are in seed order regardless of worker scheduling.
 pub fn run_many<F>(seeds: std::ops::Range<u64>, build: F) -> Vec<ConvergenceReport>
 where
     F: Fn(u64) -> Cluster + Send + Sync,
 {
     let seeds: Vec<u64> = seeds.collect();
-    let results: Mutex<Vec<Option<ConvergenceReport>>> = Mutex::new(vec![None; seeds.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(seeds.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = {
-                    let mut n = next.lock().expect("queue lock poisoned");
-                    if *n >= seeds.len() {
-                        return;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let mut cluster = build(seeds[idx]);
-                let report = cluster.run_to_convergence();
-                results.lock().expect("results lock poisoned")[idx] = Some(report);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .expect("results lock poisoned")
-        .into_iter()
-        .map(|r| r.expect("every seed produced a report"))
-        .collect()
+        .unwrap_or(4);
+    simnet::sweep::map_indexed(seeds, workers, |_, seed| {
+        let mut cluster = build(seed);
+        cluster.run_to_convergence()
+    })
 }
 
 /// Aggregated results for one experiment configuration (one bar/column of
@@ -65,6 +41,12 @@ pub struct ConfigResult {
     pub kind_counts: BTreeMap<&'static str, Summary>,
     /// Mean message bytes per kind.
     pub kind_bytes: BTreeMap<&'static str, Summary>,
+    /// Mean dropped-message counts per kind, split fault vs. random loss.
+    pub kind_drops: BTreeMap<&'static str, DropSummary>,
+    /// Total fault-dropped protocol messages per run.
+    pub dropped_fault: Summary,
+    /// Total randomly dropped protocol messages per run.
+    pub dropped_random: Summary,
     /// Total protocol messages per run.
     pub total_count: Summary,
     /// Total protocol bytes per run.
@@ -86,14 +68,24 @@ fn is_client_kind(kind: &str) -> bool {
     kind.starts_with("Client")
 }
 
+/// Mean per-kind drop counts for one configuration, split by cause.
+#[derive(Debug, Clone, Copy)]
+pub struct DropSummary {
+    /// Messages dropped by an injected fault (outage, partition).
+    pub fault: Summary,
+    /// Messages dropped by the channel's random loss rate.
+    pub random: Summary,
+}
+
 /// Aggregates trial reports into a [`ConfigResult`].
 pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> ConfigResult {
     assert!(!reports.is_empty(), "need at least one trial");
     let mut kind_counts: BTreeMap<&'static str, Accumulator> = BTreeMap::new();
     let mut kind_bytes: BTreeMap<&'static str, Accumulator> = BTreeMap::new();
+    let mut kind_drop_accs: BTreeMap<&'static str, (Accumulator, Accumulator)> = BTreeMap::new();
 
     // Every kind must appear in every trial's accumulator (absent = 0),
-    // so collect the kind universe first.
+    // so collect the kind universes first.
     let kinds: Vec<&'static str> = {
         let mut set = BTreeMap::new();
         for r in reports {
@@ -105,9 +97,22 @@ pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> Con
         }
         set.into_keys().collect()
     };
+    let drop_kinds: Vec<&'static str> = {
+        let mut set = BTreeMap::new();
+        for r in reports {
+            for (k, _) in r.metrics.iter_drops() {
+                if !is_client_kind(k) {
+                    set.insert(k, ());
+                }
+            }
+        }
+        set.into_keys().collect()
+    };
 
     let mut total_count = Accumulator::new();
     let mut total_bytes = Accumulator::new();
+    let mut dropped_fault = Accumulator::new();
+    let mut dropped_random = Accumulator::new();
     let mut sim_secs = Accumulator::new();
     let mut puts_attempted = Accumulator::new();
     let mut excess_amr = Accumulator::new();
@@ -126,6 +131,18 @@ pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> Con
         }
         total_count.push(count_sum as f64);
         total_bytes.push(byte_sum as f64);
+        let mut fault_sum = 0u64;
+        let mut random_sum = 0u64;
+        for &k in &drop_kinds {
+            let d = r.metrics.drops_for(k);
+            let (fa, ra) = kind_drop_accs.entry(k).or_default();
+            fa.push(d.fault_count as f64);
+            ra.push(d.random_count as f64);
+            fault_sum += d.fault_count;
+            random_sum += d.random_count;
+        }
+        dropped_fault.push(fault_sum as f64);
+        dropped_random.push(random_sum as f64);
         sim_secs.push(r.sim_time.as_secs_f64());
         puts_attempted.push(r.puts_attempted as f64);
         excess_amr.push(r.excess_amr as f64);
@@ -143,6 +160,20 @@ pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> Con
             .into_iter()
             .map(|(k, a)| (k, a.summary()))
             .collect(),
+        kind_drops: kind_drop_accs
+            .into_iter()
+            .map(|(k, (fa, ra))| {
+                (
+                    k,
+                    DropSummary {
+                        fault: fa.summary(),
+                        random: ra.summary(),
+                    },
+                )
+            })
+            .collect(),
+        dropped_fault: dropped_fault.summary(),
+        dropped_random: dropped_random.summary(),
         total_count: total_count.summary(),
         total_bytes: total_bytes.summary(),
         sim_secs: sim_secs.summary(),

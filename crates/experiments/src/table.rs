@@ -155,23 +155,89 @@ pub fn render_csv(results: &[ConfigResult], unit: Unit) -> String {
     out
 }
 
-/// Renders run-level statistics (convergence time, puts attempted) as a
-/// compact companion table.
+/// Renders run-level statistics (convergence time, puts attempted, drop
+/// totals split by cause) as a compact companion table.
 pub fn render_run_stats(results: &[ConfigResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:12}  {:>12}  {:>14}  {:>10}\n",
-        "config", "sim time (s)", "puts attempted", "converged"
+        "{:12}  {:>12}  {:>14}  {:>13}  {:>14}  {:>10}\n",
+        "config", "sim time (s)", "puts attempted", "fault drops", "random drops", "converged"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:12}  {:>12.1}  {:>14.1}  {:>10}\n",
+            "{:12}  {:>12.1}  {:>14.1}  {:>13.1}  {:>14.1}  {:>10}\n",
             r.label,
             r.sim_secs.mean,
             r.puts_attempted.mean,
+            r.dropped_fault.mean,
+            r.dropped_random.mean,
             if r.all_converged { "yes" } else { "NO" },
         ));
     }
+    out
+}
+
+/// Renders the per-kind dropped-message breakdown: one row per message
+/// kind, one `fault/random` cell per configuration. Kinds that were never
+/// dropped anywhere are elided; returns an empty string when nothing was
+/// dropped at all (failure-free configurations).
+pub fn render_drops(title: &str, results: &[ConfigResult]) -> String {
+    let mut kinds: Vec<&'static str> = results
+        .iter()
+        .flat_map(|r| r.kind_drops.keys().copied())
+        .collect();
+    kinds.sort_by_key(|k| kind_rank(k));
+    kinds.dedup();
+    let cell = |r: &ConfigResult, kind: &str| -> (f64, f64) {
+        r.kind_drops
+            .get(kind)
+            .map_or((0.0, 0.0), |d| (d.fault.mean, d.random.mean))
+    };
+    kinds.retain(|k| {
+        results.iter().any(|r| {
+            let (f, rnd) = cell(r, k);
+            f > 0.0 || rnd > 0.0
+        })
+    });
+    if kinds.is_empty() {
+        return String::new();
+    }
+
+    let label_w = kinds
+        .iter()
+        .map(|k| k.len())
+        .chain(["TOTAL".len(), "kind".len()])
+        .max()
+        .unwrap_or(8);
+    let col_w = results
+        .iter()
+        .map(|r| r.label.len().max(15))
+        .collect::<Vec<_>>();
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title} (mean drops: fault/random)\n"));
+    out.push_str(&format!("{:label_w$}", "kind"));
+    for (r, w) in results.iter().zip(&col_w) {
+        out.push_str(&format!("  {:>w$}", r.label, w = w));
+    }
+    out.push('\n');
+    for kind in &kinds {
+        out.push_str(&format!("{kind:label_w$}"));
+        for (r, w) in results.iter().zip(&col_w) {
+            let (f, rnd) = cell(r, kind);
+            out.push_str(&format!("  {:>w$}", format!("{f:.1}/{rnd:.1}"), w = w));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:label_w$}", "TOTAL"));
+    for (r, w) in results.iter().zip(&col_w) {
+        out.push_str(&format!(
+            "  {:>w$}",
+            format!("{:.1}/{:.1}", r.dropped_fault.mean, r.dropped_random.mean),
+            w = w
+        ));
+    }
+    out.push('\n');
     out
 }
 
@@ -242,6 +308,36 @@ mod tests {
         let t = render_run_stats(&sample());
         assert!(t.contains("Idealized"));
         assert!(t.contains("yes"));
+        assert!(t.contains("fault drops"));
+        assert!(t.contains("random drops"));
+    }
+
+    #[test]
+    fn drops_table_elides_clean_runs_and_splits_causes() {
+        // The idealized bound drops nothing: the table must vanish.
+        assert_eq!(render_drops("clean", &sample()), "");
+
+        // A lossy faulted run must produce per-kind fault/random cells.
+        let mut cfg = pahoehoe::cluster::ClusterConfig::paper_default();
+        cfg.workload_puts = 2;
+        cfg.workload_value_len = 2048;
+        cfg.network.drop_rate = 0.1;
+        let layout = cfg.layout;
+        let reports = crate::runner::run_many(0..2, |seed| {
+            let mut faults = simnet::FaultPlan::none();
+            faults.add_node_outage(
+                layout.fs(0, 0),
+                simnet::SimTime::ZERO,
+                simnet::SimDuration::from_secs(30),
+            );
+            pahoehoe::cluster::Cluster::build_with_faults(cfg.clone(), seed, faults)
+        });
+        let agg = crate::runner::aggregate("Lossy", &reports);
+        assert!(agg.dropped_random.mean > 0.0, "10% loss drops something");
+        let t = render_drops("lossy", std::slice::from_ref(&agg));
+        assert!(t.contains("fault/random"), "{t}");
+        assert!(t.contains("TOTAL"), "{t}");
+        assert!(t.contains('/'), "{t}");
     }
 
     #[test]

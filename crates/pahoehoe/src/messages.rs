@@ -279,30 +279,58 @@ impl Message {
 }
 
 impl Payload for Message {
-    fn kind(&self) -> &'static str {
+    /// One label per variant, in variant declaration order, so
+    /// [`kind_id`](Payload::kind_id) is a dense index and the engine's
+    /// per-kind counters are plain arrays.
+    const KINDS: &'static [&'static str] = &[
+        "ClientPutReq",
+        "ClientPutRep",
+        "ClientGetReq",
+        "ClientGetRep",
+        "DecideLocsReq",
+        "DecideLocsRep",
+        "FSDecideLocsReq",
+        "LocsIndication",
+        "StoreMetadataReq",
+        "StoreMetadataRep",
+        "StoreFragmentReq",
+        "StoreFragmentRep",
+        "AMRIndication",
+        "RetrieveTsReq",
+        "RetrieveTsRep",
+        "RetrieveFragReq",
+        "RetrieveFragRep",
+        "KLSConvergeReq",
+        "KLSConvergeRep",
+        "FSConvergeReq",
+        "FSConvergeRep",
+        "SiblingStoreReq",
+    ];
+
+    fn kind_id(&self) -> usize {
         match self {
-            Message::ClientPut { .. } => "ClientPutReq",
-            Message::ClientPutReply { .. } => "ClientPutRep",
-            Message::ClientGet { .. } => "ClientGetReq",
-            Message::ClientGetReply { .. } => "ClientGetRep",
-            Message::DecideLocs { .. } => "DecideLocsReq",
-            Message::DecideLocsReply { .. } => "DecideLocsRep",
-            Message::FsDecideLocs { .. } => "FSDecideLocsReq",
-            Message::LocsIndication { .. } => "LocsIndication",
-            Message::StoreMetadata { .. } => "StoreMetadataReq",
-            Message::StoreMetadataReply { .. } => "StoreMetadataRep",
-            Message::StoreFragment { .. } => "StoreFragmentReq",
-            Message::StoreFragmentReply { .. } => "StoreFragmentRep",
-            Message::AmrIndication { .. } => "AMRIndication",
-            Message::RetrieveTs { .. } => "RetrieveTsReq",
-            Message::RetrieveTsReply { .. } => "RetrieveTsRep",
-            Message::RetrieveFrag { .. } => "RetrieveFragReq",
-            Message::RetrieveFragReply { .. } => "RetrieveFragRep",
-            Message::ConvergeKls { .. } => "KLSConvergeReq",
-            Message::ConvergeKlsReply { .. } => "KLSConvergeRep",
-            Message::ConvergeFs { .. } => "FSConvergeReq",
-            Message::ConvergeFsReply { .. } => "FSConvergeRep",
-            Message::SiblingStore { .. } => "SiblingStoreReq",
+            Message::ClientPut { .. } => 0,
+            Message::ClientPutReply { .. } => 1,
+            Message::ClientGet { .. } => 2,
+            Message::ClientGetReply { .. } => 3,
+            Message::DecideLocs { .. } => 4,
+            Message::DecideLocsReply { .. } => 5,
+            Message::FsDecideLocs { .. } => 6,
+            Message::LocsIndication { .. } => 7,
+            Message::StoreMetadata { .. } => 8,
+            Message::StoreMetadataReply { .. } => 9,
+            Message::StoreFragment { .. } => 10,
+            Message::StoreFragmentReply { .. } => 11,
+            Message::AmrIndication { .. } => 12,
+            Message::RetrieveTs { .. } => 13,
+            Message::RetrieveTsReply { .. } => 14,
+            Message::RetrieveFrag { .. } => 15,
+            Message::RetrieveFragReply { .. } => 16,
+            Message::ConvergeKls { .. } => 17,
+            Message::ConvergeKlsReply { .. } => 18,
+            Message::ConvergeFs { .. } => 19,
+            Message::ConvergeFsReply { .. } => 20,
+            Message::SiblingStore { .. } => 21,
         }
     }
 

@@ -45,8 +45,9 @@ mod tests {
     #[derive(Clone)]
     struct Unit;
     impl Payload for Unit {
-        fn kind(&self) -> &'static str {
-            "Unit"
+        const KINDS: &'static [&'static str] = &["Unit"];
+        fn kind_id(&self) -> usize {
+            0
         }
         fn wire_size(&self) -> usize {
             1

@@ -6,10 +6,7 @@
 //! the same seed and the same actor set are bit-for-bit identical.
 
 use std::any::Any;
-use std::cmp::Ordering;
-// The timer set is only probed and mutated, never iterated, so hash
-// iteration order cannot leak into a run. lint:allow(hash-collections)
-use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,41 +16,33 @@ use crate::metrics::Metrics;
 use crate::network::{FaultPlan, NetworkConfig};
 use crate::node::NodeId;
 use crate::payload::Payload;
+use crate::queue::{EventKind, EventQueue, QueuedEvent, TimerSlab};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Disposition, Trace, TraceEvent};
 
-/// Handle to a scheduled timer, usable to cancel it before it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerId(u64);
+pub use crate::queue::TimerId;
 
-enum EventKind<M> {
-    Deliver { from: NodeId, msg: M },
-    Timer { id: TimerId, tag: u64 },
+/// Process-wide switch to the pre-wheel binary-heap event queue; see
+/// [`set_reference_queue_mode`].
+static REFERENCE_QUEUE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Switches every *subsequently constructed* [`Simulation`] in the
+/// process to the pre-optimization binary-heap event queue (mirroring
+/// `erasure::Codec::set_reference_mode`).
+///
+/// Event order — and therefore every run's replay digest — is identical
+/// in both modes; only the cost changes. This exists solely so the
+/// recorded benchmarks (`cargo run -p bench --release --bin baseline`)
+/// measure an honest before/after through the full protocol stack. Not
+/// for production use; for per-instance control in tests see
+/// [`Simulation::use_reference_queue`].
+pub fn set_reference_queue_mode(enabled: bool) {
+    REFERENCE_QUEUE_MODE.store(enabled, Ordering::Relaxed);
 }
 
-struct QueuedEvent<M> {
-    at: SimTime,
-    seq: u64,
-    to: NodeId,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// Whether [`set_reference_queue_mode`] is on.
+pub fn reference_queue_mode() -> bool {
+    REFERENCE_QUEUE_MODE.load(Ordering::Relaxed)
 }
 
 /// Why a `run_*` call returned.
@@ -73,17 +62,14 @@ pub enum RunOutcome {
 struct Inner<M> {
     now: SimTime,
     seq: u64,
-    next_timer: u64,
-    queue: BinaryHeap<QueuedEvent<M>>,
+    queue: EventQueue<M>,
+    /// Generation-stamped liveness for every scheduled timer; cancelling
+    /// bumps a generation so the queued firing event goes stale in place.
+    timers: TimerSlab,
     rng: StdRng,
     network: NetworkConfig,
     faults: FaultPlan,
     metrics: Metrics,
-    /// Timers scheduled but not yet fired or cancelled. A timer fires only
-    /// while its id is in this set, so cancellation is O(1) and cancelling
-    /// an already-fired timer leaves no residue behind. Never iterated —
-    /// membership tests only — so the hash order is unobservable.
-    live_timers: HashSet<TimerId>, // lint:allow(hash-collections)
     trace: Option<Trace>,
 }
 
@@ -95,23 +81,23 @@ impl<M: Payload> Inner<M> {
     }
 
     fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
+        let id = self.timers.allocate();
         let at = self.now + delay;
-        self.live_timers.insert(id);
         self.push(at, node, EventKind::Timer { id, tag });
         id
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         // Count at send time: dropped messages were still sent (§5.1).
-        self.metrics.record_send(msg.kind(), msg.wire_size());
+        let kind_id = msg.kind_id();
+        let bytes = msg.wire_size();
+        self.metrics.record_send(kind_id, bytes);
         let disposition = if self.faults.blocks(from, to, self.now) {
-            self.metrics.record_drop();
+            self.metrics.record_drop(kind_id, bytes, true);
             Disposition::DroppedFault
         } else if self.network.drop_rate > 0.0 && self.rng.random::<f64>() < self.network.drop_rate
         {
-            self.metrics.record_drop();
+            self.metrics.record_drop(kind_id, bytes, false);
             Disposition::DroppedRandom
         } else {
             Disposition::Delivered
@@ -188,7 +174,9 @@ impl<M: Payload> Context<'_, M> {
     /// Cancels a previously scheduled timer. Cancelling a timer that
     /// already fired (or was already cancelled) is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.inner.live_timers.remove(&id);
+        if self.inner.timers.retire(id) {
+            self.inner.queue.invalidate_peek();
+        }
     }
 
     /// The simulation's seeded random number generator.
@@ -223,18 +211,22 @@ impl<M: Payload> Simulation<M> {
 
     /// Creates a simulation with an explicit network model and fault plan.
     pub fn with_network(seed: u64, network: NetworkConfig, faults: FaultPlan) -> Self {
+        let queue = if reference_queue_mode() {
+            EventQueue::reference()
+        } else {
+            EventQueue::wheel()
+        };
         Simulation {
             actors: Vec::new(),
             inner: Inner {
                 now: SimTime::ZERO,
                 seq: 0,
-                next_timer: 0,
-                queue: BinaryHeap::new(),
+                queue,
+                timers: TimerSlab::new(),
                 rng: StdRng::seed_from_u64(seed),
                 network,
                 faults,
-                metrics: Metrics::new(),
-                live_timers: HashSet::new(), // lint:allow(hash-collections)
+                metrics: Metrics::for_payload::<M>(),
                 trace: None,
             },
             started: false,
@@ -242,6 +234,38 @@ impl<M: Payload> Simulation<M> {
             event_limit: u64::MAX,
             inspector: None,
         }
+    }
+
+    /// Switches **this** simulation between the timing-wheel queue and the
+    /// reference binary heap (see [`set_reference_queue_mode`] for the
+    /// process-wide default). Intended for differential tests; event order
+    /// is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already has queued events.
+    pub fn use_reference_queue(&mut self, enabled: bool) {
+        assert_eq!(
+            self.inner.queue.len(),
+            0,
+            "queue implementation must be chosen before any event is scheduled"
+        );
+        if enabled != self.inner.queue.is_reference() {
+            self.inner.queue = if enabled {
+                EventQueue::reference()
+            } else {
+                EventQueue::wheel()
+            };
+        }
+    }
+
+    /// Offsets the internal event sequence counter, so differential tests
+    /// can exercise ordering comparisons near the top of the `u64` range.
+    /// Must be called before any event is scheduled.
+    #[doc(hidden)]
+    pub fn set_seq_base(&mut self, base: u64) {
+        assert_eq!(self.inner.queue.len(), 0, "seq base must be set first");
+        self.inner.seq = base;
     }
 
     /// Installs an observation hook that runs after **every** processed
@@ -295,6 +319,16 @@ impl<M: Payload> Simulation<M> {
         self.inner.schedule_timer(node, delay, tag)
     }
 
+    /// Cancels a pending timer from outside the simulation. Cancelled
+    /// timers never fire and are skipped by the queue without counting as
+    /// events. Cancelling an already-fired or already-cancelled timer is
+    /// a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if self.inner.timers.retire(id) {
+            self.inner.queue.invalidate_peek();
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.now
@@ -332,7 +366,7 @@ impl<M: Payload> Simulation<M> {
     /// cancelled. Cancelled and fired timers leave no bookkeeping behind,
     /// so at quiescence this is zero.
     pub fn pending_timers(&self) -> usize {
-        self.inner.live_timers.len()
+        self.inner.timers.live_count()
     }
 
     /// Borrows the actor at `id`, downcast to its concrete type.
@@ -373,8 +407,12 @@ impl<M: Payload> Simulation<M> {
         self.run_impl(SimTime::MAX, |_| false)
     }
 
-    /// Runs until `pred` holds (checked after every event) or the queue
-    /// drains.
+    /// Runs until `pred` holds or the queue drains.
+    ///
+    /// `pred` is evaluated once before the run starts and then exactly
+    /// once per **dispatched** event (message delivery or timer firing).
+    /// Queue housekeeping that dispatches nothing — discarding cancelled
+    /// timers, promoting far-future events — never re-evaluates it.
     pub fn run_until(&mut self, pred: impl FnMut(&Simulation<M>) -> bool) -> RunOutcome {
         self.run_impl(SimTime::MAX, pred)
     }
@@ -412,39 +450,36 @@ impl<M: Payload> Simulation<M> {
             return RunOutcome::PredicateSatisfied;
         }
         loop {
-            // Skip cancelled timers without counting them as events.
-            while let Some(ev) = self.inner.queue.peek() {
-                if let EventKind::Timer { id, .. } = &ev.kind {
-                    if !self.inner.live_timers.contains(id) {
-                        self.inner.queue.pop();
-                        continue;
-                    }
-                }
-                break;
-            }
-            let Some(ev) = self.inner.queue.peek() else {
+            // The queue skips cancelled timers internally, so the next
+            // live event surfaces without counting housekeeping as events
+            // or re-evaluating the caller's predicate.
+            let inner = &mut self.inner;
+            let Some((at, _)) = inner.queue.peek_next(&inner.timers) else {
                 // With an explicit deadline, an idle simulation still
                 // advances its clock to the deadline, so callers can move
                 // virtual time forward past scheduled fault windows.
                 if deadline < SimTime::MAX {
-                    self.inner.now = deadline;
+                    // A deadline already in the past leaves the clock alone:
+                    // virtual time is monotone.
+                    self.inner.now = self.inner.now.max(deadline);
                     return RunOutcome::DeadlineReached;
                 }
                 return RunOutcome::Quiescent;
             };
-            if ev.at >= deadline {
-                self.inner.now = deadline;
+            if at >= deadline {
+                self.inner.now = self.inner.now.max(deadline);
                 return RunOutcome::DeadlineReached;
             }
             if self.events_processed >= self.event_limit {
                 return RunOutcome::EventLimitReached;
             }
-            let ev = self.inner.queue.pop().expect("peeked event exists");
+            let inner = &mut self.inner;
+            let ev = inner.queue.pop(&inner.timers).expect("peeked event exists");
             debug_assert!(ev.at >= self.inner.now, "time went backwards");
             self.inner.now = ev.at;
             self.events_processed += 1;
             if let EventKind::Timer { id, .. } = &ev.kind {
-                self.inner.live_timers.remove(id);
+                self.inner.timers.retire(*id);
             }
 
             let slot = ev.to.index();
@@ -488,10 +523,11 @@ mod tests {
     }
 
     impl Payload for Msg {
-        fn kind(&self) -> &'static str {
+        const KINDS: &'static [&'static str] = &["Ping", "Pong"];
+        fn kind_id(&self) -> usize {
             match self {
-                Msg::Ping(_) => "Ping",
-                Msg::Pong(_) => "Pong",
+                Msg::Ping(_) => 0,
+                Msg::Pong(_) => 1,
             }
         }
         fn wire_size(&self) -> usize {

@@ -27,7 +27,8 @@
 //! #[derive(Clone, Debug)]
 //! struct Ping;
 //! impl Payload for Ping {
-//!     fn kind(&self) -> &'static str { "Ping" }
+//!     const KINDS: &'static [&'static str] = &["Ping"];
+//!     fn kind_id(&self) -> usize { 0 }
 //!     fn wire_size(&self) -> usize { 64 }
 //! }
 //!
@@ -58,12 +59,17 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod payload;
+pub mod queue;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 
 pub use actor::Actor;
-pub use engine::{Context, Inspector, RunOutcome, Simulation, TimerId};
-pub use metrics::{KindStats, Metrics};
+pub use engine::{
+    reference_queue_mode, set_reference_queue_mode, Context, Inspector, RunOutcome, Simulation,
+    TimerId,
+};
+pub use metrics::{DropStats, KindStats, Metrics};
 pub use network::{FaultPlan, LatencyOverride, NetworkConfig};
 pub use node::NodeId;
 pub use payload::Payload;

@@ -5,8 +5,17 @@
 //! proxy's put and all convergence activity". Messages are counted at
 //! **send** time — a dropped message was still sent and still cost network
 //! capacity, which is what the lossy-network experiment measures.
+//!
+//! Counters are dense arrays indexed by the payload's compile-time kind
+//! registry ([`Payload::KINDS`](crate::Payload::KINDS)): `record_send` is
+//! a branch-free array index instead of the `BTreeMap` lookup it
+//! replaced. Reports still render in sorted label order via [`iter`]
+//! (which also skips never-sent kinds, so aggregated tables list only
+//! traffic that exists).
+//!
+//! [`iter`]: Metrics::iter
 
-use std::collections::BTreeMap;
+use crate::payload::Payload;
 
 /// Count and byte totals for one message kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,33 +26,103 @@ pub struct KindStats {
     pub bytes: u64,
 }
 
+/// In-flight losses for one message kind, split by cause so convergence
+/// cost tables can attribute lost bytes to injected faults vs. the
+/// channel's random loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Messages dropped by an injected fault (outage, partition).
+    pub fault_count: u64,
+    /// Wire bytes of fault-dropped messages.
+    pub fault_bytes: u64,
+    /// Messages dropped by the channel's random loss rate.
+    pub random_count: u64,
+    /// Wire bytes of randomly dropped messages.
+    pub random_bytes: u64,
+}
+
+impl DropStats {
+    /// Dropped messages of this kind, both causes.
+    pub fn count(&self) -> u64 {
+        self.fault_count + self.random_count
+    }
+
+    /// Dropped wire bytes of this kind, both causes.
+    pub fn bytes(&self) -> u64 {
+        self.fault_bytes + self.random_bytes
+    }
+}
+
 /// Traffic totals broken down by message kind.
 ///
-/// Kinds are ordered lexicographically (`BTreeMap`) so reports are stable
-/// across runs.
+/// Backed by dense arrays laid out by a payload type's kind registry;
+/// recording is O(1) array indexing, reporting sorts labels on demand.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    per_kind: BTreeMap<&'static str, KindStats>,
-    dropped: u64,
+    registry: &'static [&'static str],
+    sends: Vec<KindStats>,
+    drops: Vec<DropStats>,
     duplicated: u64,
 }
 
 impl Metrics {
-    /// Creates empty metrics.
+    /// Creates empty metrics with an empty kind registry. Recording into
+    /// it panics; it exists as a neutral element for [`merge`](Self::merge)
+    /// and as the `Default`.
     pub fn new() -> Self {
         Metrics::default()
     }
 
-    /// Records that one message of `kind` with `bytes` wire bytes was sent.
-    pub fn record_send(&mut self, kind: &'static str, bytes: usize) {
-        let e = self.per_kind.entry(kind).or_default();
+    /// Creates metrics laid out for `registry` (one slot per kind).
+    pub fn with_registry(registry: &'static [&'static str]) -> Self {
+        Metrics {
+            registry,
+            sends: vec![KindStats::default(); registry.len()],
+            drops: vec![DropStats::default(); registry.len()],
+            duplicated: 0,
+        }
+    }
+
+    /// Creates metrics laid out for message type `M`'s kind registry.
+    pub fn for_payload<M: Payload>() -> Self {
+        Metrics::with_registry(M::KINDS)
+    }
+
+    /// The kind registry this metrics object is laid out for.
+    pub fn registry(&self) -> &'static [&'static str] {
+        self.registry
+    }
+
+    /// Records that one message of kind `kind_id` with `bytes` wire bytes
+    /// was sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind_id` is out of range for the registry.
+    // lint:hot
+    pub fn record_send(&mut self, kind_id: usize, bytes: usize) {
+        let e = &mut self.sends[kind_id];
         e.count += 1;
         e.bytes += bytes as u64;
     }
 
-    /// Records that a sent message was dropped in flight.
-    pub fn record_drop(&mut self) {
-        self.dropped += 1;
+    /// Records that a sent message of kind `kind_id` was dropped in
+    /// flight — by an injected fault if `fault`, by random channel loss
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind_id` is out of range for the registry.
+    // lint:hot
+    pub fn record_drop(&mut self, kind_id: usize, bytes: usize, fault: bool) {
+        let e = &mut self.drops[kind_id];
+        if fault {
+            e.fault_count += 1;
+            e.fault_bytes += bytes as u64;
+        } else {
+            e.random_count += 1;
+            e.random_bytes += bytes as u64;
+        }
     }
 
     /// Records that a delivered message was duplicated by the channel.
@@ -51,29 +130,65 @@ impl Metrics {
         self.duplicated += 1;
     }
 
-    /// Stats for a single kind (zero if never seen).
-    pub fn kind(&self, kind: &str) -> KindStats {
-        self.per_kind.get(kind).copied().unwrap_or_default()
+    fn index_of(&self, kind: &str) -> Option<usize> {
+        self.registry.iter().position(|&k| k == kind)
     }
 
-    /// Iterates over `(kind, stats)` in lexicographic kind order.
+    /// Send stats for a single kind (zero if never seen or unregistered).
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.index_of(kind)
+            .map(|i| self.sends[i])
+            .unwrap_or_default()
+    }
+
+    /// Drop stats for a single kind (zero if never seen or unregistered).
+    pub fn drops_for(&self, kind: &str) -> DropStats {
+        self.index_of(kind)
+            .map(|i| self.drops[i])
+            .unwrap_or_default()
+    }
+
+    /// Iterates over `(kind, stats)` of every kind with at least one send,
+    /// in lexicographic kind order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, KindStats)> + '_ {
-        self.per_kind.iter().map(|(&k, &v)| (k, v))
+        let mut seen: Vec<(&'static str, KindStats)> = self
+            .registry
+            .iter()
+            .zip(&self.sends)
+            .filter(|(_, s)| s.count > 0)
+            .map(|(&k, &s)| (k, s))
+            .collect();
+        seen.sort_unstable_by_key(|&(k, _)| k);
+        seen.into_iter()
+    }
+
+    /// Iterates over `(kind, drops)` of every kind with at least one drop,
+    /// in lexicographic kind order.
+    pub fn iter_drops(&self) -> impl Iterator<Item = (&'static str, DropStats)> + '_ {
+        let mut seen: Vec<(&'static str, DropStats)> = self
+            .registry
+            .iter()
+            .zip(&self.drops)
+            .filter(|(_, d)| d.count() > 0)
+            .map(|(&k, &d)| (k, d))
+            .collect();
+        seen.sort_unstable_by_key(|&(k, _)| k);
+        seen.into_iter()
     }
 
     /// Total messages sent across all kinds.
     pub fn total_count(&self) -> u64 {
-        self.per_kind.values().map(|s| s.count).sum()
+        self.sends.iter().map(|s| s.count).sum()
     }
 
     /// Total bytes sent across all kinds.
     pub fn total_bytes(&self) -> u64 {
-        self.per_kind.values().map(|s| s.bytes).sum()
+        self.sends.iter().map(|s| s.bytes).sum()
     }
 
-    /// Number of sent messages that were dropped in flight.
+    /// Number of sent messages that were dropped in flight (both causes).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.drops.iter().map(DropStats::count).sum()
     }
 
     /// Number of messages the channel duplicated.
@@ -82,14 +197,32 @@ impl Metrics {
     }
 
     /// Merges another metrics object into this one (used when aggregating
-    /// trials).
+    /// trials). An empty-registry accumulator adopts the other's layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides carry different (non-empty) registries: their
+    /// dense arrays would not be commensurable.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, s) in other.iter() {
-            let e = self.per_kind.entry(k).or_default();
-            e.count += s.count;
-            e.bytes += s.bytes;
+        if self.registry.is_empty() {
+            self.registry = other.registry;
+            self.sends = vec![KindStats::default(); other.registry.len()];
+            self.drops = vec![DropStats::default(); other.registry.len()];
         }
-        self.dropped += other.dropped;
+        assert_eq!(
+            self.registry, other.registry,
+            "cannot merge metrics from different kind registries"
+        );
+        for (a, b) in self.sends.iter_mut().zip(&other.sends) {
+            a.count += b.count;
+            a.bytes += b.bytes;
+        }
+        for (a, b) in self.drops.iter_mut().zip(&other.drops) {
+            a.fault_count += b.fault_count;
+            a.fault_bytes += b.fault_bytes;
+            a.random_count += b.random_count;
+            a.random_bytes += b.random_bytes;
+        }
         self.duplicated += other.duplicated;
     }
 }
@@ -98,55 +231,84 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    const KINDS: &[&str] = &["Zed", "Alpha", "Mid"];
+
     #[test]
     fn record_and_query() {
-        let mut m = Metrics::new();
-        m.record_send("A", 10);
-        m.record_send("A", 20);
-        m.record_send("B", 5);
+        let mut m = Metrics::with_registry(KINDS);
+        m.record_send(1, 10);
+        m.record_send(1, 20);
+        m.record_send(2, 5);
         assert_eq!(
-            m.kind("A"),
+            m.kind("Alpha"),
             KindStats {
                 count: 2,
                 bytes: 30
             }
         );
-        assert_eq!(m.kind("B"), KindStats { count: 1, bytes: 5 });
-        assert_eq!(m.kind("C"), KindStats::default());
+        assert_eq!(m.kind("Mid"), KindStats { count: 1, bytes: 5 });
+        assert_eq!(m.kind("Zed"), KindStats::default());
+        assert_eq!(m.kind("NoSuchKind"), KindStats::default());
         assert_eq!(m.total_count(), 3);
         assert_eq!(m.total_bytes(), 35);
     }
 
     #[test]
-    fn drops_tracked_separately_from_sends() {
-        let mut m = Metrics::new();
-        m.record_send("A", 10);
-        m.record_drop();
-        assert_eq!(m.total_count(), 1, "dropped messages still count as sent");
-        assert_eq!(m.dropped(), 1);
+    fn drops_tracked_separately_from_sends_and_split_by_cause() {
+        let mut m = Metrics::with_registry(KINDS);
+        m.record_send(0, 10);
+        m.record_drop(0, 10, false);
+        m.record_send(0, 7);
+        m.record_drop(0, 7, true);
+        assert_eq!(m.total_count(), 2, "dropped messages still count as sent");
+        assert_eq!(m.dropped(), 2);
+        let d = m.drops_for("Zed");
+        assert_eq!(
+            d,
+            DropStats {
+                fault_count: 1,
+                fault_bytes: 7,
+                random_count: 1,
+                random_bytes: 10,
+            }
+        );
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.bytes(), 17);
+        assert_eq!(m.drops_for("Alpha"), DropStats::default());
     }
 
     #[test]
-    fn iteration_is_sorted() {
-        let mut m = Metrics::new();
-        m.record_send("Zed", 1);
-        m.record_send("Alpha", 1);
-        m.record_send("Mid", 1);
+    fn iteration_is_sorted_and_skips_unsent_kinds() {
+        let mut m = Metrics::with_registry(KINDS);
+        m.record_send(0, 1);
+        m.record_send(1, 1);
         let kinds: Vec<&str> = m.iter().map(|(k, _)| k).collect();
-        assert_eq!(kinds, ["Alpha", "Mid", "Zed"]);
+        assert_eq!(kinds, ["Alpha", "Zed"], "sorted; never-sent Mid omitted");
+        m.record_drop(2, 4, true);
+        let dropped: Vec<&str> = m.iter_drops().map(|(k, _)| k).collect();
+        assert_eq!(dropped, ["Mid"]);
     }
 
     #[test]
-    fn merge_accumulates() {
+    fn merge_accumulates_and_adopts_registry() {
         let mut a = Metrics::new();
-        a.record_send("X", 1);
-        let mut b = Metrics::new();
-        b.record_send("X", 2);
-        b.record_send("Y", 3);
-        b.record_drop();
+        let mut b = Metrics::with_registry(KINDS);
+        b.record_send(0, 1);
+        b.record_drop(0, 1, false);
+        b.record_duplicate();
         a.merge(&b);
-        assert_eq!(a.kind("X"), KindStats { count: 2, bytes: 3 });
-        assert_eq!(a.kind("Y"), KindStats { count: 1, bytes: 3 });
-        assert_eq!(a.dropped(), 1);
+        a.merge(&b);
+        assert_eq!(a.kind("Zed"), KindStats { count: 2, bytes: 2 });
+        assert_eq!(a.dropped(), 2);
+        assert_eq!(a.duplicated(), 2);
+        assert_eq!(a.registry(), KINDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind registries")]
+    fn merge_rejects_mismatched_registries() {
+        let mut a = Metrics::with_registry(&["A"]);
+        let b = Metrics::with_registry(&["B"]);
+        a.merge(&b);
     }
 }

@@ -1,0 +1,126 @@
+//! Deterministic parallel fan-out over independent work items.
+//!
+//! Simulations are pure functions of their inputs, so a *sweep* over many
+//! scenarios (the invariant explorer's 144-scenario grid, a benchmark's
+//! seed batch) is embarrassingly parallel — as long as the merge step
+//! never lets worker scheduling leak into the result. [`map_indexed`]
+//! guarantees that: items are claimed from a shared cursor, each result
+//! is written back at its item's index, and the returned `Vec` is in
+//! input order regardless of which worker finished first. Running with
+//! `workers == 1` and `workers == N` is byte-identical by construction,
+//! which the explorer's CI digest check enforces end to end.
+//!
+//! Workers are **scoped** threads (`std::thread::scope`), not free-running
+//! `std::thread::spawn` — they cannot outlive the call, so nothing ever
+//! interleaves with a simulation's event loop. (The determinism lint bans
+//! `thread::spawn` for exactly that reason.)
+
+use std::sync::Mutex;
+use std::thread;
+
+/// Applies `f` to every item, fanning work out across `workers` scoped
+/// threads, and returns the results **in input order**.
+///
+/// `f` must be safe to call concurrently on distinct items (it only gets
+/// a shared reference to itself); each item is processed exactly once.
+/// `workers` is clamped to at least 1 and at most the number of items; a
+/// single-worker sweep degenerates to a plain sequential map over the
+/// same code path, so the two configurations are trivially identical.
+///
+/// A panic inside `f` propagates to the caller once in-flight items have
+/// finished (scoped threads join on scope exit).
+pub fn map_indexed<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    // Work is claimed item-by-item from a shared cursor (the same pattern
+    // as the experiment runner): faster workers take more items, and the
+    // indexed write-back keeps the merge order independent of scheduling.
+    let queue: Mutex<(usize, Vec<Option<T>>)> =
+        Mutex::new((0, items.into_iter().map(Some).collect()));
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let (i, item) = {
+                    let mut q = queue.lock().expect("sweep queue poisoned");
+                    let i = q.0;
+                    if i >= n {
+                        break;
+                    }
+                    q.0 += 1;
+                    (i, q.1[i].take().expect("item claimed once"))
+                };
+                let r = f(i, item);
+                *results[i].lock().expect("sweep result poisoned") = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result poisoned")
+                .expect("every item produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let got = map_indexed(items.clone(), workers, |_, i| i * i);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items = vec!["a", "b", "c"];
+        let got = map_indexed(items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = map_indexed(Vec::<u32>::new(), 4, |_, x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_stateful_work() {
+        // Each item's work depends only on the item, so any worker count
+        // must give the same answer.
+        let work = |_, seed: u64| {
+            let mut h = seed;
+            for _ in 0..1000 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            h
+        };
+        let items: Vec<u64> = (0..37).collect();
+        let seq = map_indexed(items.clone(), 1, work);
+        let par = map_indexed(items, 4, work);
+        assert_eq!(seq, par);
+    }
+}

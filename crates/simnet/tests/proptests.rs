@@ -11,8 +11,9 @@ use simnet::{
 struct Token(#[allow(dead_code)] u32);
 
 impl Payload for Token {
-    fn kind(&self) -> &'static str {
-        "Token"
+    const KINDS: &'static [&'static str] = &["Token"];
+    fn kind_id(&self) -> usize {
+        0
     }
     fn wire_size(&self) -> usize {
         16

@@ -17,12 +17,18 @@ cargo test --workspace -q
 echo "==> determinism lint"
 cargo run -p check --bin lint
 
-echo "==> invariant explorer (smoke sweep)"
-cargo run -p check --release --bin explore -- --smoke
+echo "==> invariant explorer (smoke sweep, sequential)"
+cargo run -p check --release --bin explore -- --smoke --digest-out target/digest-seq.txt
+
+echo "==> invariant explorer (smoke sweep, parallel harness)"
+cargo run -p check --release --bin explore -- --smoke --workers 2 --digest-out target/digest-par.txt
+cmp target/digest-seq.txt target/digest-par.txt
+echo "    parallel sweep digest is byte-identical to sequential"
 
 echo "==> bench baseline (smoke)"
 cargo run -p bench --release --bin baseline -- --smoke
 python3 -m json.tool BENCH_codec.json > /dev/null
+python3 -m json.tool BENCH_engine.json > /dev/null
 python3 -m json.tool BENCH_convergence.json > /dev/null
 
 echo "CI green."
