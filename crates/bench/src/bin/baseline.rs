@@ -10,6 +10,10 @@
 //! (`after-sim-core`) — and the numbers land in `BENCH_codec.json`,
 //! `BENCH_engine.json`, and `BENCH_convergence.json` at the repo root, so
 //! this and every future PR records comparable before/after throughput.
+//! A fourth section pins the codec/engine at the latest generation and
+//! sweeps the *protocol* hot-path modes (clone-per-send reference,
+//! refcounted metadata over the dense version store, coalesced round
+//! accounting), landing in `BENCH_protocol.json`.
 //!
 //! ```text
 //! cargo run -p bench --release --bin baseline            # full iterations
@@ -31,6 +35,7 @@ use std::rc::Rc;
 use erasure::{Checksum, Codec, CodecImpl};
 use pahoehoe::cluster::{Cluster, ClusterConfig};
 use pahoehoe::messages::Message;
+use pahoehoe::protocol::ProtocolMode;
 use simnet::{
     Actor, Context, FaultPlan, Metrics, NodeId, Payload, SimDuration, SimTime, Simulation, TimerId,
 };
@@ -219,6 +224,104 @@ fn convergence_bench(
         sim_time_secs: report.sim_time.as_secs_f64(),
         converged: report.outcome == simnet::RunOutcome::PredicateSatisfied,
         puts_succeeded: report.puts_succeeded,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hot path (BENCH_protocol.json).
+// ---------------------------------------------------------------------------
+
+/// The convergence-round message kinds batching coalesces.
+const CONV_KINDS: [&str; 3] = ["KLSConvergeReq", "FSConvergeReq", "AMRIndication"];
+
+struct ProtocolNumbers {
+    label: &'static str,
+    events: u64,
+    wall_secs: f64,
+    events_per_wall_sec: f64,
+    converged: bool,
+    /// Logical convergence entries sent (mode-independent).
+    conv_entries: u64,
+    /// Physical convergence messages sent (drops under batching).
+    conv_msgs: u64,
+    /// Convergence bytes on the wire (drops under batching: one shared
+    /// header per coalesced batch).
+    conv_bytes: u64,
+    total_bytes: u64,
+}
+
+/// One end-to-end run at the latest codec/engine generation with the
+/// protocol layer pinned to `mode`: the "before" entry deep-copies
+/// metadata on every share and walks the reference version maps, the
+/// "after" entries share by refcount over the dense store, with and
+/// without coalesced round accounting.
+fn protocol_bench(
+    label: &'static str,
+    mode: ProtocolMode,
+    puts: usize,
+    value_len: usize,
+    faulty: bool,
+    reps: usize,
+) -> ProtocolNumbers {
+    reset_modes();
+    let build = || {
+        let mut config = ClusterConfig::paper_workload();
+        config.protocol = mode;
+        config.workload_puts = puts;
+        config.workload_value_len = value_len;
+        if faulty {
+            // Same fault plan as the convergence bench: a two-minute FS
+            // outage plus a lossy, duplicating channel, so real rounds run.
+            config.network.drop_rate = 0.02;
+            config.network.duplicate_rate = 0.01;
+            let layout = config.layout;
+            let mut faults = FaultPlan::none();
+            faults.add_node_outage(
+                layout.fs(0, 0),
+                SimTime::ZERO + SimDuration::from_secs(5),
+                SimDuration::from_secs(120),
+            );
+            Cluster::build_with_faults(config, 42, faults)
+        } else {
+            Cluster::build(config, 42)
+        }
+    };
+
+    let mut wall_secs = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..reps {
+        let mut cluster = build();
+        let (report, secs) = timed(|| cluster.run_to_convergence());
+        wall_secs = wall_secs.min(secs);
+        let m = cluster.sim().metrics();
+        let (conv_entries, conv_msgs, conv_bytes) =
+            CONV_KINDS
+                .iter()
+                .fold((0u64, 0u64, 0u64), |(e, c, b), kind| {
+                    let s = m.kind(kind);
+                    (e + m.entries_for(kind), c + s.count, b + s.bytes)
+                });
+        measured = Some((
+            cluster.sim().events_processed(),
+            report,
+            conv_entries,
+            conv_msgs,
+            conv_bytes,
+            m.total_bytes(),
+        ));
+    }
+    let (events, report, conv_entries, conv_msgs, conv_bytes, total_bytes) =
+        measured.expect("reps >= 1");
+    ProtocolNumbers {
+        label,
+        events,
+        wall_secs,
+        events_per_wall_sec: events as f64 / wall_secs,
+        converged: report.outcome == simnet::RunOutcome::PredicateSatisfied,
+        conv_entries,
+        conv_msgs,
+        conv_bytes,
+        total_bytes,
     }
 }
 
@@ -511,6 +614,52 @@ fn convergence_json(mode: &str, puts: usize, value_len: usize, scenarios: &[Stri
     )
 }
 
+fn protocol_scenario_json(name: &str, entries: &[ProtocolNumbers], pr3_baseline: f64) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "        {{ \"impl\": \"{}\", \"events\": {}, \"wall_secs\": {}, \
+                 \"events_per_wall_sec\": {}, \"converged\": {}, \
+                 \"convergence_entries\": {}, \"convergence_msgs\": {}, \
+                 \"convergence_bytes\": {}, \"total_bytes\": {} }}",
+                e.label,
+                e.events,
+                jf(e.wall_secs),
+                jf(e.events_per_wall_sec),
+                e.converged,
+                e.conv_entries,
+                e.conv_msgs,
+                e.conv_bytes,
+                e.total_bytes,
+            )
+        })
+        .collect();
+    let before = &entries[0];
+    let last = entries.last().expect("at least one entry");
+    format!(
+        "    {{\n      \"name\": \"{name}\",\n      \"entries\": [\n{}\n      ],\n      \"speedup_vs_before\": {},\n      \"speedup_vs_pr3_baseline\": {},\n      \"convergence_bytes_saved\": {}\n    }}",
+        rows.join(",\n"),
+        jf(last.events_per_wall_sec / before.events_per_wall_sec),
+        jf(last.events_per_wall_sec / pr3_baseline),
+        before.conv_bytes.saturating_sub(last.conv_bytes),
+    )
+}
+
+fn protocol_json(
+    mode: &str,
+    puts: usize,
+    value_len: usize,
+    pr3_events_per_sec: f64,
+    scenarios: &[String],
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"protocol\",\n  \"mode\": \"{mode}\",\n  \"seed\": 42,\n  \"workload\": {{ \"puts\": {puts}, \"value_len\": {value_len} }},\n  \"pr3_baseline_events_per_sec\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        jf(pr3_events_per_sec),
+        scenarios.join(",\n")
+    )
+}
+
 fn pair_json(name: &str, unit: &str, entries: &[QueueNumbers]) -> String {
     let rows: Vec<String> = entries
         .iter()
@@ -665,6 +814,78 @@ fn main() {
         scenario_blocks.push(convergence_scenario_json(name, &entries));
     }
 
+    // PR 3's recorded failure-free throughput (BENCH_convergence.json's
+    // `after-sim-core` entry) — the floor the protocol rewrite must beat.
+    let pr3_events_per_sec = 329_340.0;
+    // Same workload as the convergence bench so the numbers compare
+    // directly against PR 3's recording. The modes differ by tens of
+    // nanoseconds per event, so on a shared core the best-of minimum
+    // needs many timing passes to shake off scheduler noise.
+    let (protocol_puts, protocol_reps) = if smoke {
+        (puts, reps)
+    } else {
+        (puts, 6 * reps)
+    };
+    eprintln!("protocol hot path ({protocol_puts} puts x {workload_value_len} bytes, seed 42)");
+    let protocol_modes: [(&'static str, ProtocolMode); 3] = [
+        ("before-clone-meta", ProtocolMode::reference()),
+        ("after-arc-meta", ProtocolMode::optimized()),
+        ("after-batched-rounds", ProtocolMode::batched()),
+    ];
+    let mut protocol_blocks = Vec::new();
+    for (name, faulty) in [("failure-free", false), ("failure-injected", true)] {
+        let entries: Vec<ProtocolNumbers> = protocol_modes
+            .iter()
+            .map(|&(label, mode)| {
+                protocol_bench(
+                    label,
+                    mode,
+                    protocol_puts,
+                    workload_value_len,
+                    faulty,
+                    protocol_reps,
+                )
+            })
+            .collect();
+        for e in &entries {
+            eprintln!(
+                "  {name:>16} {:>20}: {:>8} events in {:>6.2}s = {:>9.0} events/s \
+                 (conv: {} entries / {} msgs / {} B, converged: {})",
+                e.label,
+                e.events,
+                e.wall_secs,
+                e.events_per_wall_sec,
+                e.conv_entries,
+                e.conv_msgs,
+                e.conv_bytes,
+                e.converged
+            );
+            assert!(
+                e.converged,
+                "protocol scenario {name} must converge (label {})",
+                e.label
+            );
+        }
+        // Logical entries are mode-independent; batching only strips
+        // headers off the physical messages.
+        assert!(
+            entries
+                .iter()
+                .all(|e| e.conv_entries == entries[0].conv_entries),
+            "protocol modes must send identical logical convergence entries"
+        );
+        assert!(
+            entries.last().expect("entries").conv_bytes <= entries[0].conv_bytes,
+            "batched rounds must not increase convergence bytes"
+        );
+        eprintln!(
+            "  {name:>16} speedup vs before: {:.2}x, conv bytes saved: {}",
+            entries.last().expect("entries").events_per_wall_sec / entries[0].events_per_wall_sec,
+            entries[0].conv_bytes - entries.last().expect("entries").conv_bytes,
+        );
+        protocol_blocks.push(protocol_scenario_json(name, &entries, pr3_events_per_sec));
+    }
+
     let root = repo_root();
     let codec_path = root.join("BENCH_codec.json");
     let engine_path = root.join("BENCH_engine.json");
@@ -687,7 +908,20 @@ fn main() {
         convergence_json(mode, puts, workload_value_len, &scenario_blocks),
     )
     .expect("write BENCH_convergence.json");
+    let protocol_path = root.join("BENCH_protocol.json");
+    std::fs::write(
+        &protocol_path,
+        protocol_json(
+            mode,
+            protocol_puts,
+            workload_value_len,
+            pr3_events_per_sec,
+            &protocol_blocks,
+        ),
+    )
+    .expect("write BENCH_protocol.json");
     eprintln!("wrote {}", codec_path.display());
     eprintln!("wrote {}", engine_path.display());
     eprintln!("wrote {}", conv_path.display());
+    eprintln!("wrote {}", protocol_path.display());
 }

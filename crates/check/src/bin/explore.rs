@@ -21,6 +21,13 @@
 //!   two produce byte-identical digests);
 //! * `--digest-out PATH` — write one replay-digest line per scenario, for
 //!   comparing sequential and parallel runs byte for byte;
+//! * `--protocol reference|optimized|batched` — pin the protocol hot-path
+//!   mode (shared metadata / coalesced round accounting) the sweep's
+//!   clusters run with. `reference` and `optimized` produce byte-identical
+//!   digests (the optimizations are representation changes only);
+//!   `batched` changes the traffic accounting, so its digests differ but
+//!   every invariant must still hold. Default: the process default
+//!   (optimized, unbatched);
 //! * `--quiet` — suppress per-scenario progress lines.
 
 use std::path::PathBuf;
@@ -32,7 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: explore [--smoke] [--seeds N] [--puts N] [--value-len N] \
          [--inject-corruption] [--trace-out PATH] [--workers N] \
-         [--digest-out PATH] [--quiet]"
+         [--digest-out PATH] [--protocol reference|optimized|batched] \
+         [--quiet]"
     );
     std::process::exit(2)
 }
@@ -67,6 +75,21 @@ fn main() -> ExitCode {
             "--digest-out" => {
                 digest_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
+            "--protocol" => match args.next().as_deref() {
+                Some("reference") => {
+                    pahoehoe::protocol::set_reference_protocol_mode(true);
+                    pahoehoe::protocol::set_batched_rounds(false);
+                }
+                Some("optimized") => {
+                    pahoehoe::protocol::set_reference_protocol_mode(false);
+                    pahoehoe::protocol::set_batched_rounds(false);
+                }
+                Some("batched") => {
+                    pahoehoe::protocol::set_reference_protocol_mode(false);
+                    pahoehoe::protocol::set_batched_rounds(true);
+                }
+                _ => usage(),
+            },
             "--quiet" => quiet = true,
             _ => usage(),
         }

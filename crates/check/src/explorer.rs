@@ -10,9 +10,11 @@
 //! duplication) to the minimal fault plan that still violates, and renders
 //! the shrunk run's message trace for offline diagnosis.
 
+use pahoehoe::analysis;
 use pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout};
 use pahoehoe::convergence::ConvergenceOptions;
 use pahoehoe::fs::{Fs, WAKE_TIMER_TAG};
+use pahoehoe::protocol::ProtocolMode;
 use simnet::{FaultPlan, NetworkConfig, NodeId, RunOutcome, SimDuration, SimTime};
 
 use crate::invariants::{Checker, Violation};
@@ -218,16 +220,60 @@ pub struct ScenarioOutcome {
     /// Debug rendering of the traffic metrics — byte-identical across
     /// replays of the same scenario.
     pub metrics_digest: String,
+    /// The final AMR ledger ([`amr_digest`]): one line per known object
+    /// version with its AMR classification. Identical across *all*
+    /// protocol modes for the same scenario — batching and metadata
+    /// sharing are representation changes only.
+    pub amr_digest: String,
 }
 
-/// Runs one scenario under the full invariant registry.
+/// Renders the cluster's final AMR ledger: every object version any KLS
+/// or FS knows, tagged with whether it reached absolute maximum
+/// redundancy, plus whether it is durable. Runs of the same scenario
+/// under different [`ProtocolMode`]s must produce identical ledgers —
+/// this is the cross-run convergence invariant the batched-rounds
+/// optimization is checked against.
+pub fn amr_digest(cluster: &Cluster) -> String {
+    let topo = cluster.topology();
+    let fss: Vec<NodeId> = topo.all_fss().collect();
+    let klss: Vec<NodeId> = topo.all_klss().collect();
+    let sim = cluster.sim();
+    let durable = analysis::durable_versions(sim, &fss);
+    analysis::known_versions(sim, &klss, &fss)
+        .iter()
+        .map(|&ov| {
+            format!(
+                "{ov:?} amr={} durable={}\n",
+                analysis::is_amr(sim, topo, ov),
+                durable.contains(&ov),
+            )
+        })
+        .collect()
+}
+
+/// Runs one scenario under the full invariant registry, with the protocol
+/// hot-path mode the process-wide switches currently select.
 pub fn run_scenario(
     sc: &Scenario,
     wl: &WorkloadCfg,
     injection: Injection,
     want_trace: bool,
 ) -> ScenarioOutcome {
+    run_scenario_pinned(sc, wl, injection, want_trace, ProtocolMode::current())
+}
+
+/// Like [`run_scenario`], but pins the cluster to an explicit
+/// [`ProtocolMode`] so tests can compare modes side by side without
+/// racing on the process-wide switches.
+pub fn run_scenario_pinned(
+    sc: &Scenario,
+    wl: &WorkloadCfg,
+    injection: Injection,
+    want_trace: bool,
+    protocol: ProtocolMode,
+) -> ScenarioOutcome {
     let mut cfg = ClusterConfig::paper_default();
+    cfg.protocol = protocol;
     cfg.convergence = sc.preset.options();
     cfg.workload_puts = wl.puts;
     cfg.workload_value_len = wl.value_len;
@@ -254,6 +300,7 @@ pub fn run_scenario(
                 .unwrap_or_else(|| "(trace disabled)".to_string())
         }),
         metrics_digest: format!("{:?}", sim.metrics()),
+        amr_digest: amr_digest(&cluster),
     }
 }
 

@@ -1,0 +1,132 @@
+//! Cross-run convergence invariant for the protocol hot-path modes:
+//! batched and unbatched runs of the same scenario must converge to
+//! identical AMR states.
+//!
+//! Batched rounds are coalesced *accounting* — each entry still traverses
+//! the simulated channel individually, in the unbatched order, drawing
+//! the same RNG — and metadata sharing is a representation change, so the
+//! final AMR ledger ([`explorer::amr_digest`]), the event count and the
+//! virtual end time must all be bit-identical across every
+//! [`ProtocolMode`]. The reference and optimized modes must additionally
+//! match on the traffic-metrics digest; batching legitimately changes
+//! physical message counts, so only its logical outcomes are compared.
+
+use check::explorer::{self, FaultSpec, Injection, Outage, Preset, Scenario, WorkloadCfg};
+use pahoehoe::cluster::ClusterLayout;
+use pahoehoe::protocol::ProtocolMode;
+
+fn workload() -> WorkloadCfg {
+    WorkloadCfg {
+        puts: 4,
+        value_len: 2048,
+    }
+}
+
+/// A small but representative scenario slice: both convergence-heavy
+/// presets, a clean run, a lossy run, and an outage run.
+fn scenarios() -> Vec<Scenario> {
+    let layout = ClusterLayout {
+        dcs: 2,
+        kls_per_dc: 2,
+        fs_per_dc: 3,
+    };
+    let outage = FaultSpec {
+        drop_centi: 2,
+        dup_centi: 1,
+        outages: vec![Outage {
+            node: layout.fs(0, 0).index() as u32,
+            start_secs: 2,
+            dur_secs: 90,
+        }],
+    };
+    let lossy = FaultSpec {
+        drop_centi: 5,
+        dup_centi: 2,
+        outages: Vec::new(),
+    };
+    let mut out = Vec::new();
+    for preset in [Preset::Naive, Preset::All] {
+        for (seed, faults) in [
+            (1u64, FaultSpec::clean()),
+            (7, lossy.clone()),
+            (11, outage.clone()),
+        ] {
+            out.push(Scenario {
+                seed,
+                preset,
+                faults,
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn all_protocol_modes_converge_to_identical_amr_states() {
+    let wl = workload();
+    for sc in scenarios() {
+        let reference = explorer::run_scenario_pinned(
+            &sc,
+            &wl,
+            Injection::None,
+            false,
+            ProtocolMode::reference(),
+        );
+        let optimized = explorer::run_scenario_pinned(
+            &sc,
+            &wl,
+            Injection::None,
+            false,
+            ProtocolMode::optimized(),
+        );
+        let batched = explorer::run_scenario_pinned(
+            &sc,
+            &wl,
+            Injection::None,
+            false,
+            ProtocolMode::batched(),
+        );
+
+        for (label, run) in [
+            ("reference", &reference),
+            ("optimized", &optimized),
+            ("batched", &batched),
+        ] {
+            assert!(
+                run.violation.is_none(),
+                "{label} run of {sc:?} violated an invariant: {:?}",
+                run.violation
+            );
+        }
+
+        assert!(
+            !optimized.amr_digest.is_empty(),
+            "scenario {sc:?} produced no versions to compare"
+        );
+        assert_eq!(
+            optimized.amr_digest, reference.amr_digest,
+            "reference vs optimized AMR ledgers diverged for {sc:?}"
+        );
+        assert_eq!(
+            optimized.amr_digest, batched.amr_digest,
+            "batched vs unbatched AMR ledgers diverged for {sc:?}"
+        );
+        assert_eq!(
+            (optimized.events, optimized.sim_time),
+            (batched.events, batched.sim_time),
+            "batching changed the event sequence for {sc:?}"
+        );
+        assert_eq!(
+            (optimized.events, optimized.sim_time),
+            (reference.events, reference.sim_time),
+            "metadata sharing changed the event sequence for {sc:?}"
+        );
+        // Sharing is a pure representation change, so even the traffic
+        // metrics match; batching coalesces physical messages, so its
+        // metrics legitimately differ and are not compared.
+        assert_eq!(
+            optimized.metrics_digest, reference.metrics_digest,
+            "reference vs optimized metrics diverged for {sc:?}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+// Fixture: the fragment server's declared protocol hot paths — the
+// convergence round walk and the scrub pass — with the allocating
+// regressions the lint must catch if they ever creep back in. The real
+// functions (`Fs::run_round`, `Fs::scrub`) reuse `version_scratch` and a
+// `FragMask`; copying the version list or building a per-version Vec
+// undoes exactly that fix.
+
+struct Store {
+    pending: Vec<(u64, u32)>,
+}
+
+struct Server {
+    store: Store,
+    version_scratch: Vec<(u64, u32)>,
+}
+
+impl Server {
+    // lint:hot
+    fn run_round_regressed(&mut self) -> usize {
+        // Regression: snapshotting the pending list copies it on every
+        // round instead of reusing the scratch buffer.
+        let versions = self.store.pending.to_vec();
+        versions.len()
+    }
+
+    // lint:hot
+    fn run_round_clean(&mut self) -> usize {
+        let mut versions = std::mem::take(&mut self.version_scratch);
+        versions.clear();
+        versions.extend_from_slice(&self.store.pending);
+        let n = versions.len();
+        self.version_scratch = versions;
+        n
+    }
+
+    // lint:hot
+    fn scrub_regressed(&mut self) -> usize {
+        // Regression: collecting corrupted indices into a fresh Vec per
+        // version instead of a stack bitmask.
+        let mut bad = Vec::new();
+        for &(ov, _) in &self.store.pending {
+            if ov % 2 == 0 {
+                bad.push(ov);
+            }
+        }
+        bad.len()
+    }
+
+    // lint:hot
+    fn scrub_clean(&mut self) -> usize {
+        let mut bad = 0u64;
+        for &(ov, _) in &self.store.pending {
+            if ov % 2 == 0 {
+                bad |= 1 << (ov % 64);
+            }
+        }
+        bad.count_ones() as usize
+    }
+}

@@ -83,6 +83,26 @@ fn detects_simulation_core_hot_path_regressions() {
 }
 
 #[test]
+fn detects_protocol_round_hot_path_regressions() {
+    // The fragment server's convergence round and scrub walks carry
+    // `// lint:hot` markers after the scratch-reuse fix; this fixture
+    // mirrors their shape and proves the two historical allocation
+    // patterns (copying the version list, a per-version Vec of corrupt
+    // indices) trip the lint.
+    let findings = lint_file(&fixture("hot_round_regression.rs")).unwrap();
+    assert_eq!(rules_hit(&findings), ["hot-path-alloc"]);
+    assert_eq!(findings.len(), 2, "to_vec in run_round + Vec::new in scrub");
+    assert!(
+        findings.iter().any(|f| f.excerpt.contains("to_vec")),
+        "round-walk copy regression flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.excerpt.contains("Vec::new")),
+        "scrub per-version Vec regression flagged: {findings:?}"
+    );
+}
+
+#[test]
 fn allow_markers_and_noncode_text_suppress() {
     let findings = lint_file(&fixture("allowed.rs")).unwrap();
     assert!(findings.is_empty(), "expected clean, got: {findings:?}");

@@ -34,7 +34,10 @@ pub enum CodecImpl {
     /// one table lookup per data byte yields all `n - k` parity products
     /// at once (byte lanes of a `u64`), de-interleaved by an in-register
     /// 8×8 byte transpose. Applies when `1 <= n - k <= 8`; other shapes
-    /// fall back to `FlatTable` behavior. This is the default.
+    /// fall back to `FlatTable` behavior, as does any CPU where
+    /// [`gf::simd_active`] reports the split-nibble shuffle kernel — there,
+    /// row-at-a-time `mul_acc` over long contiguous rows beats the
+    /// position-major gather. This is the default.
     Packed,
 }
 
@@ -226,8 +229,12 @@ impl Codec {
         stripe.extend_from_slice(value);
         stripe.resize(self.n * flen, 0);
         let (data, parity) = stripe.split_at_mut(self.k * flen);
-        if mode == CodecImpl::Packed && !self.packed.is_empty() {
-            self.encode_parity_packed(data, parity, flen);
+        // The packed position-major gather wins for the scalar table
+        // kernel; when the SIMD shuffle kernel is active, row-at-a-time
+        // `mul_acc` over long contiguous rows is faster still.
+        if mode == CodecImpl::Packed && !self.packed.is_empty() && flen > 0 && !gf::simd_active() {
+            let rows: Vec<&[u8]> = data.chunks_exact(flen).collect();
+            self.encode_parity_packed(&rows, parity, flen);
         } else {
             for row in self.k..self.n {
                 let seg = &mut parity[(row - self.k) * flen..(row - self.k + 1) * flen];
@@ -250,6 +257,69 @@ impl Codec {
         }
     }
 
+    /// Encodes a refcounted value without copying its payload: the data
+    /// fragments are zero-copy windows of `value` (only a padded tail row
+    /// is materialized, when `value.len()` is not a multiple of the
+    /// fragment length), and the parity rows are computed into one shared
+    /// backing allocation. Byte-identical to [`encode`](Self::encode) —
+    /// this is the put-path fast lane; it always runs the fastest
+    /// available kernel and ignores [`set_impl_mode`](Self::set_impl_mode)
+    /// (reference benchmarking goes through [`encode`](Self::encode)).
+    // lint:hot
+    pub fn encode_value(&self, value: &Bytes, out: &mut Vec<Fragment>) {
+        out.clear();
+        let flen = self.fragment_len(value.len());
+        // Data rows: windows of the value where a full row fits, one
+        // padded copy per tail row (at most one for non-degenerate
+        // shapes; short values may owe several all-zero rows).
+        let mut rows: Vec<Bytes> = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let start = i * flen;
+            let end = start + flen;
+            if end <= value.len() {
+                rows.push(value.slice(start..end));
+            } else {
+                let mut pad = Vec::with_capacity(flen);
+                pad.extend_from_slice(&value[start.min(value.len())..]);
+                pad.resize(flen, 0);
+                rows.push(Bytes::from(pad));
+            }
+        }
+        let pk = self.n - self.k;
+        out.reserve(self.n);
+        if pk > 0 && flen > 0 {
+            let mut parity = vec![0u8; pk * flen];
+            let row_slices: Vec<&[u8]> = rows.iter().map(|r| r.as_ref()).collect();
+            if self.packed.is_empty() || gf::simd_active() {
+                for p in 0..pk {
+                    let seg = &mut parity[p * flen..(p + 1) * flen];
+                    for (i, row) in row_slices.iter().enumerate() {
+                        gf::mul_acc(seg, row, self.generator.get(self.k + p, i));
+                    }
+                }
+            } else {
+                self.encode_parity_packed(&row_slices, &mut parity, flen);
+            }
+            let backing = Bytes::from(parity);
+            for (i, row) in rows.into_iter().enumerate() {
+                out.push(Fragment::new(i as FragmentIndex, row));
+            }
+            for p in 0..pk {
+                out.push(Fragment::new(
+                    (self.k + p) as FragmentIndex,
+                    backing.slice(p * flen..(p + 1) * flen),
+                ));
+            }
+        } else {
+            for (i, row) in rows.into_iter().enumerate() {
+                out.push(Fragment::new(i as FragmentIndex, row));
+            }
+            for p in 0..pk {
+                out.push(Fragment::new((self.k + p) as FragmentIndex, Bytes::new()));
+            }
+        }
+    }
+
     /// Fills the `(n - k) * flen` parity region from the `k * flen` data
     /// region using the packed tables: one lookup per data byte produces
     /// the products for **all** parity rows at once (byte lanes of a
@@ -259,23 +329,25 @@ impl Codec {
     /// Byte-identical to the row-at-a-time [`gf::mul_acc`] loop: the lanes
     /// are the same GF(2⁸) products, and XOR never crosses lanes.
     // lint:hot
-    fn encode_parity_packed(&self, data: &[u8], parity: &mut [u8], flen: usize) {
+    fn encode_parity_packed(&self, rows: &[&[u8]], parity: &mut [u8], flen: usize) {
         let pk = self.n - self.k;
         let mut inter = self.inter.borrow_mut();
-        inter.clear();
-        inter.resize(flen, 0);
+        if inter.len() != flen {
+            inter.clear();
+            inter.resize(flen, 0);
+        }
         if self.k == 4 {
             // The paper's default policy (k=4, n=12) gets a fully unrolled
             // gather: four loads, four lookups, three XORs per position.
+            // Every packed word is overwritten, so stale scratch from a
+            // previous call needs no re-zeroing.
             let (t0, t1, t2, t3) = (
                 &self.packed[0],
                 &self.packed[1],
                 &self.packed[2],
                 &self.packed[3],
             );
-            let (d0, rest) = data.split_at(flen);
-            let (d1, rest) = rest.split_at(flen);
-            let (d2, d3) = rest.split_at(flen);
+            let (d0, d1, d2, d3) = (rows[0], rows[1], rows[2], rows[3]);
             for (j, w) in inter.iter_mut().enumerate() {
                 *w = t0[d0[j] as usize]
                     ^ t1[d1[j] as usize]
@@ -283,8 +355,11 @@ impl Codec {
                     ^ t3[d3[j] as usize];
             }
         } else {
+            // The generic gather accumulates, so the scratch must start
+            // zeroed.
+            inter.fill(0);
             for (i, t) in self.packed.iter().enumerate() {
-                let d = &data[i * flen..(i + 1) * flen];
+                let d = rows[i];
                 for (w, &b) in inter.iter_mut().zip(d) {
                     *w ^= t[b as usize];
                 }
@@ -967,6 +1042,46 @@ mod tests {
                 base.wrapping_add(i * flen),
                 "fragment {i} is a window of the stripe"
             );
+        }
+    }
+
+    #[test]
+    fn encode_value_matches_encode() {
+        let _guard = MODE_LOCK.lock().unwrap();
+        // Shapes cover the packed kernel (k=4 unrolled and generic), the
+        // flat fallback (no packed tables when parity > 8 rows), no-parity
+        // codes, and tail/padding edge lengths including empty.
+        for (k, n) in [(4, 12), (3, 6), (2, 10), (4, 4), (2, 12), (16, 19)] {
+            let c = Codec::new(k, n).unwrap();
+            for len in [0usize, 1, 5, 8, 63, 64, 65, 1000, 4096] {
+                let v = value(len);
+                let expect = c.encode(&v);
+                let bytes = Bytes::from(v);
+                let mut out = Vec::new();
+                c.encode_value(&bytes, &mut out);
+                assert_eq!(out, expect, "k={k} n={n} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_value_data_fragments_are_zero_copy() {
+        let c = Codec::new(4, 12).unwrap();
+        let v = Bytes::from(value(100 * 1024)); // divides evenly: no tail copy
+        let flen = c.fragment_len(v.len());
+        let mut out = Vec::new();
+        c.encode_value(&v, &mut out);
+        for (i, f) in out.iter().take(4).enumerate() {
+            assert_eq!(
+                f.data().as_ref().as_ptr(),
+                v.as_ref()[i * flen..].as_ptr(),
+                "data fragment {i} is a window of the value"
+            );
+        }
+        // Parity fragments share one backing allocation.
+        let base = out[4].data().as_ref().as_ptr();
+        for (p, f) in out.iter().skip(4).enumerate() {
+            assert_eq!(f.data().as_ref().as_ptr(), base.wrapping_add(p * flen));
         }
     }
 

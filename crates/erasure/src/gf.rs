@@ -9,6 +9,15 @@
 //! compile-time) backs the hot paths. The log/exp routines
 //! ([`mul_logexp`], [`mul_acc_ref`]) are kept as the reference
 //! implementation that the tables and property tests are checked against.
+//!
+//! The bulk [`mul_acc`] kernel additionally carries a split-nibble SIMD
+//! path on x86-64 (the PSHUFB technique standard in storage Reed-Solomon
+//! libraries): each byte's product is the XOR of two 16-entry table
+//! lookups — one indexed by the low nibble, one by the high — and a
+//! 16/32-wide byte shuffle performs all lookups of a register at once.
+//! The nibble tables are compile-time constants; the scalar flat-table
+//! loop remains both the portable fallback and the tail handler, and the
+//! property tests pin every path to [`mul_acc_ref`] bit for bit.
 
 /// The primitive polynomial, with the x⁸ term included (`0x11d`).
 pub const PRIMITIVE_POLY: u16 = 0x11d;
@@ -71,6 +80,32 @@ const fn build_mul() -> [[u8; 256]; 256] {
             b += 1;
         }
         a += 1;
+    }
+    table
+}
+
+/// Split-nibble product tables for the SIMD kernel: for each scalar `s`,
+/// `NIB_LO[s][x] == s * x` (products of the 16 possible low nibbles) and
+/// `NIB_HI[s][x] == s * (x << 4)` (products of the 16 possible high
+/// nibbles). Since GF(2⁸) multiplication distributes over XOR and any
+/// byte is `(b & 0x0f) ^ (b & 0xf0)`, the full product is
+/// `NIB_LO[s][b & 0x0f] ^ NIB_HI[s][b >> 4]` — two shuffle-sized lookups.
+static NIB_LO: [[u8; 16]; 256] = build_nib(false);
+
+/// High-nibble half of the split-product tables; see [`NIB_LO`].
+static NIB_HI: [[u8; 16]; 256] = build_nib(true);
+
+const fn build_nib(high: bool) -> [[u8; 16]; 256] {
+    let mul = build_mul();
+    let mut table = [[0u8; 16]; 256];
+    let mut s = 0usize;
+    while s < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            table[s][x] = mul[s][if high { x << 4 } else { x }];
+            x += 1;
+        }
+        s += 1;
     }
     table
 }
@@ -159,10 +194,11 @@ pub fn pow(a: u8, e: usize) -> u8 {
 /// Multiplies every byte of `src` by `scalar` and XORs the products into
 /// `dst`: `dst[i] ^= scalar * src[i]`.
 ///
-/// This is the inner loop of Reed-Solomon encoding and decoding. It
-/// fetches the 256-byte [`MUL`] row for `scalar` once, then runs a
-/// branch-free, 8-way-unrolled loop over the slices; `scalar == 1`
-/// degenerates to a word-wide XOR.
+/// This is the inner loop of Reed-Solomon encoding and decoding.
+/// `scalar == 1` degenerates to a word-wide XOR; on x86-64 with AVX2 or
+/// SSSE3 the body runs the split-nibble shuffle kernel ([`NIB_LO`] /
+/// [`NIB_HI`]), and everywhere else it fetches the 256-byte [`MUL`] row
+/// for `scalar` once and runs a branch-free, 8-way-unrolled loop.
 ///
 /// # Panics
 ///
@@ -177,6 +213,34 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], scalar: u8) {
         xor_slice(dst, src);
         return;
     }
+    #[cfg(target_arch = "x86_64")]
+    if simd::mul_acc_simd(dst, src, scalar) {
+        return;
+    }
+    mul_acc_table(dst, src, scalar);
+}
+
+/// Whether [`mul_acc`] runs the split-nibble SIMD kernel on this CPU.
+///
+/// Callers that choose between loop structures (the codec's packed
+/// gather versus row-at-a-time `mul_acc`) use this to pick the layout
+/// that feeds the faster kernel.
+#[inline]
+pub fn simd_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2") || std::is_x86_feature_detected!("ssse3")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The portable flat-table body of [`mul_acc`] (non-trivial scalars);
+/// also finishes the sub-register tail for the SIMD kernel.
+// lint:hot
+fn mul_acc_table(dst: &mut [u8], src: &[u8], scalar: u8) {
     let row = mul_row(scalar);
     let mut d_chunks = dst.chunks_exact_mut(8);
     let mut s_chunks = src.chunks_exact(8);
@@ -225,6 +289,128 @@ fn xor_slice(dst: &mut [u8], src: &[u8]) {
         .zip(s_chunks.remainder())
     {
         *d ^= *s;
+    }
+}
+
+/// The x86-64 split-nibble shuffle kernel behind [`mul_acc`].
+///
+/// This module is the one place the crate steps outside safe Rust: the
+/// PSHUFB technique needs the `std::arch` intrinsics. The unsafety is
+/// narrow and mechanical — unaligned 16/32-byte loads and stores entirely
+/// inside bounds established by `chunks_exact`, plus `#[target_feature]`
+/// functions that are only reached behind the matching runtime CPU
+/// feature check — and every path is pinned bit-for-bit to
+/// [`mul_acc_ref`] by the property tests.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use super::{mul_acc_table, NIB_HI, NIB_LO};
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+        _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
+        _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
+        _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// Runs the widest available shuffle kernel; returns `false` when the
+    /// CPU supports neither AVX2 nor SSSE3 so the caller falls back to
+    /// the portable loop. The `is_x86_feature_detected!` result is
+    /// cached by the standard library, so the per-call cost is one
+    /// atomic load.
+    // lint:hot
+    #[inline]
+    pub fn mul_acc_simd(dst: &mut [u8], src: &[u8], scalar: u8) -> bool {
+        if std::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 feature was just verified at runtime.
+            unsafe { mul_acc_avx2(dst, src, scalar) };
+            return true;
+        }
+        if std::is_x86_feature_detected!("ssse3") {
+            // SAFETY: the SSSE3 feature was just verified at runtime.
+            unsafe { mul_acc_ssse3(dst, src, scalar) };
+            return true;
+        }
+        false
+    }
+
+    /// 32 bytes per iteration: both 16-entry nibble tables are broadcast
+    /// to the two 128-bit lanes (PSHUFB shuffles within lanes), each
+    /// source register is split into nibble indices, and the two
+    /// shuffled product halves XOR together and into `dst`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_acc_avx2(dst: &mut [u8], src: &[u8], scalar: u8) {
+        // SAFETY: the nibble tables are 16-byte rows, valid for an
+        // unaligned 128-bit load.
+        let (lo, hi) = unsafe {
+            (
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    NIB_LO[scalar as usize].as_ptr().cast::<__m128i>(),
+                )),
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    NIB_HI[scalar as usize].as_ptr().cast::<__m128i>(),
+                )),
+            )
+        };
+        let mask = _mm256_set1_epi8(0x0f);
+        let mut d_chunks = dst.chunks_exact_mut(32);
+        let mut s_chunks = src.chunks_exact(32);
+        for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+            // SAFETY: `chunks_exact` guarantees `d` and `s` are exactly
+            // 32 bytes, in bounds for unaligned 256-bit access.
+            unsafe {
+                let sv = _mm256_loadu_si256(s.as_ptr().cast::<__m256i>());
+                let lo_idx = _mm256_and_si256(sv, mask);
+                // The 64-bit lane shift drags bits across byte borders,
+                // but the mask keeps only each byte's own high nibble.
+                let hi_idx = _mm256_and_si256(_mm256_srli_epi64(sv, 4), mask);
+                let prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(lo, lo_idx),
+                    _mm256_shuffle_epi8(hi, hi_idx),
+                );
+                let dv = _mm256_loadu_si256(d.as_ptr().cast::<__m256i>());
+                _mm256_storeu_si256(d.as_mut_ptr().cast::<__m256i>(), _mm256_xor_si256(dv, prod));
+            }
+        }
+        mul_acc_table(d_chunks.into_remainder(), s_chunks.remainder(), scalar);
+    }
+
+    /// 16 bytes per iteration; the same kernel narrowed to SSE registers
+    /// for pre-AVX2 hardware.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports SSSE3.
+    #[target_feature(enable = "ssse3")]
+    unsafe fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], scalar: u8) {
+        // SAFETY: the nibble tables are 16-byte rows, valid for an
+        // unaligned 128-bit load.
+        let (lo, hi) = unsafe {
+            (
+                _mm_loadu_si128(NIB_LO[scalar as usize].as_ptr().cast::<__m128i>()),
+                _mm_loadu_si128(NIB_HI[scalar as usize].as_ptr().cast::<__m128i>()),
+            )
+        };
+        let mask = _mm_set1_epi8(0x0f);
+        let mut d_chunks = dst.chunks_exact_mut(16);
+        let mut s_chunks = src.chunks_exact(16);
+        for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+            // SAFETY: `chunks_exact` guarantees `d` and `s` are exactly
+            // 16 bytes, in bounds for unaligned 128-bit access.
+            unsafe {
+                let sv = _mm_loadu_si128(s.as_ptr().cast::<__m128i>());
+                let lo_idx = _mm_and_si128(sv, mask);
+                let hi_idx = _mm_and_si128(_mm_srli_epi64(sv, 4), mask);
+                let prod =
+                    _mm_xor_si128(_mm_shuffle_epi8(lo, lo_idx), _mm_shuffle_epi8(hi, hi_idx));
+                let dv = _mm_loadu_si128(d.as_ptr().cast::<__m128i>());
+                _mm_storeu_si128(d.as_mut_ptr().cast::<__m128i>(), _mm_xor_si128(dv, prod));
+            }
+        }
+        mul_acc_table(d_chunks.into_remainder(), s_chunks.remainder(), scalar);
     }
 }
 
@@ -332,13 +518,44 @@ mod tests {
 
     #[test]
     fn mul_acc_matches_reference_all_scalars() {
-        // 19 bytes: exercises the 8-way unrolled body (2 full chunks) and
-        // a 3-byte remainder, with zeros sprinkled in.
-        let src: Vec<u8> = (0..19u8).map(|i| i.wrapping_mul(37) % 251).collect();
-        for scalar in 0..=255u8 {
-            let mut fast = vec![0x5Au8; src.len()];
+        // Lengths chosen to cross every kernel boundary: sub-register
+        // (19), exactly one SSE/AVX register (16, 32), register chunks
+        // plus an awkward tail (133), and a realistic row (1000) — each
+        // with zeros sprinkled in.
+        for len in [19usize, 16, 32, 133, 1000] {
+            let src: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(37) % 251) as u8).collect();
+            for scalar in 0..=255u8 {
+                let mut fast = vec![0x5Au8; src.len()];
+                let mut slow = fast.clone();
+                mul_acc(&mut fast, &src, scalar);
+                mul_acc_ref(&mut slow, &src, scalar);
+                assert_eq!(fast, slow, "len={len} scalar={scalar}");
+            }
+        }
+    }
+
+    #[test]
+    fn nib_tables_split_the_product() {
+        // NIB_LO[s][b & 0x0f] ^ NIB_HI[s][b >> 4] must reassemble the
+        // full MUL row for every scalar and byte.
+        for s in 0..=255u8 {
+            for b in 0..=255u8 {
+                let split =
+                    NIB_LO[s as usize][(b & 0x0f) as usize] ^ NIB_HI[s as usize][(b >> 4) as usize];
+                assert_eq!(split, mul(s, b), "scalar={s} byte={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_table_fallback_matches_reference() {
+        // The portable loop must stay correct on its own (it is the tail
+        // handler and the non-x86 path), independent of SIMD dispatch.
+        let src: Vec<u8> = (0..200usize).map(|i| (i * 7 % 253) as u8).collect();
+        for scalar in [2u8, 29, 142, 255] {
+            let mut fast = vec![0xC3u8; src.len()];
             let mut slow = fast.clone();
-            mul_acc(&mut fast, &src, scalar);
+            mul_acc_table(&mut fast, &src, scalar);
             mul_acc_ref(&mut slow, &src, scalar);
             assert_eq!(fast, slow, "scalar={scalar}");
         }

@@ -1,5 +1,8 @@
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is denied everywhere except the one documented exception:
+// `gf::simd`, the split-nibble PSHUFB kernel, which needs `std::arch`
+// intrinsics and carries per-call safety arguments.
+#![deny(unsafe_code)]
 
 //! Systematic Reed-Solomon erasure coding over GF(2⁸), built from scratch.
 //!

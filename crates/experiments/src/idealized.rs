@@ -53,6 +53,7 @@ pub fn per_put(
         meta.add_dc_locations(dc, Kls::which_locs(&topo, dc, ov, &policy));
     }
     assert!(meta.is_complete());
+    let meta = std::sync::Arc::new(meta);
 
     let frag_len = value_len.div_ceil(usize::from(policy.k));
     let fragment = erasure::Fragment::new(0, vec![0u8; frag_len]);

@@ -23,6 +23,7 @@ use crate::fs::Fs;
 use crate::kls::Kls;
 use crate::messages::Message;
 use crate::policy::Policy;
+use crate::protocol::ProtocolMode;
 use crate::proxy::{Proxy, ProxyConfig};
 use crate::topology::{DataCenterId, Topology};
 use crate::types::{Key, ObjectVersion};
@@ -136,6 +137,11 @@ pub struct ClusterConfig {
     /// Convergence configuration for every FS (and the proxy's Put-AMR
     /// switch).
     pub convergence: ConvergenceOptions,
+    /// Protocol hot-path switches (shared metadata, batched round
+    /// accounting) for every actor in the cluster. Defaults to the
+    /// process-wide switches (see [`crate::protocol`]); pin it explicitly
+    /// in tests that compare modes so parallel tests cannot race.
+    pub protocol: ProtocolMode,
     /// Proxy timeouts and clock skew.
     pub proxy: ProxyConfig,
     /// Network latency and loss model.
@@ -167,6 +173,7 @@ impl ClusterConfig {
             extra_proxies: Vec::new(),
             policy: Policy::paper_default(),
             convergence: ConvergenceOptions::all(),
+            protocol: ProtocolMode::current(),
             proxy: ProxyConfig::default(),
             network: NetworkConfig::paper_default(),
             workload_puts: 0,
@@ -254,11 +261,16 @@ impl Cluster {
         for dc in 0..layout.dcs {
             let dc_id = DataCenterId::new(dc as u8);
             for _ in 0..layout.kls_per_dc {
-                let id = sim.add_actor(Kls::new(topo.clone(), dc_id));
+                let id = sim.add_actor(Kls::with_mode(topo.clone(), dc_id, config.protocol));
                 debug_assert!(topo.klss_in(dc_id).contains(&id));
             }
             for _ in 0..layout.fs_per_dc {
-                let id = sim.add_actor(Fs::new(topo.clone(), dc_id, config.convergence.clone()));
+                let id = sim.add_actor(Fs::with_mode(
+                    topo.clone(),
+                    dc_id,
+                    config.convergence.clone(),
+                    config.protocol,
+                ));
                 debug_assert!(topo.fss_in(dc_id).contains(&id));
             }
         }
@@ -267,7 +279,13 @@ impl Cluster {
             put_amr_indication: config.convergence.put_amr_indication,
             ..config.proxy.clone()
         };
-        let proxy_id = sim.add_actor(Proxy::new(topo.clone(), DataCenterId::new(0), 0, proxy_cfg));
+        let proxy_id = sim.add_actor(Proxy::with_mode(
+            topo.clone(),
+            DataCenterId::new(0),
+            0,
+            proxy_cfg,
+            config.protocol,
+        ));
         debug_assert_eq!(proxy_id, layout.proxy());
 
         let client = match &config.custom_workload {
@@ -291,11 +309,12 @@ impl Cluster {
                 clock_skew: spec.clock_skew,
                 ..config.proxy.clone()
             };
-            let p = sim.add_actor(Proxy::new(
+            let p = sim.add_actor(Proxy::with_mode(
                 topo.clone(),
                 DataCenterId::new(spec.dc as u8),
                 1 + i as u32,
                 proxy_cfg,
+                config.protocol,
             ));
             let c = sim.add_actor(Client::new(p, Vec::new()));
             extra.push((p, c));

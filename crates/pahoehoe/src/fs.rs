@@ -33,6 +33,7 @@ use simnet::{Actor, Context, NodeId, SimTime, TimerId};
 use crate::convergence::{ConvergenceOptions, RoundSchedule};
 use crate::messages::{Message, OpId};
 use crate::metadata::Metadata;
+use crate::protocol::{FragMask, ProtocolMode};
 use crate::topology::{DataCenterId, Topology};
 use crate::types::ObjectVersion;
 
@@ -52,8 +53,9 @@ pub const WAKE_TIMER_TAG: u64 = TAG_ROUND;
 /// Stored fragments plus the metadata snapshot for one object version.
 #[derive(Debug, Clone)]
 pub struct FragEntry {
-    /// Best-known metadata.
-    pub meta: Metadata,
+    /// Best-known metadata (shared by refcount in optimized mode; see
+    /// [`ProtocolMode`]).
+    pub meta: Arc<Metadata>,
     /// The sibling fragments this server holds, by fragment index.
     pub fragments: BTreeMap<FragmentIndex, Fragment>,
     /// Content hash recorded when each fragment was durably stored; the
@@ -116,6 +118,447 @@ struct Recovery {
     timeout_timer: TimerId,
 }
 
+/// Lifecycle state of one stored object version. Exactly one of these
+/// holds at any time (a stored version is being converged, settled AMR,
+/// or abandoned), which is what lets the dense store keep it as a single
+/// tagged field instead of the seed's three side tables.
+#[derive(Debug)]
+enum VersionState {
+    /// Still being converged.
+    Pending(Box<ConvWork>),
+    /// Verified (or indicated) AMR at the recorded time.
+    Amr(SimTime),
+    /// Abandoned after `give_up_age`.
+    GaveUp,
+}
+
+/// One dense per-version record: fragment entry and lifecycle state side
+/// by side in one slab slot.
+#[derive(Debug)]
+struct VersionSlot {
+    ov: ObjectVersion,
+    entry: FragEntry,
+    state: VersionState,
+}
+
+/// Slot hint meaning "resolve through the index".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Per-version storage for an FS, behind the protocol reference switch.
+///
+/// The dense representation keeps every version in an append-only slab
+/// (versions are never forgotten, only settled), an `ov -> slot` index,
+/// and a sorted list of pending slot indices that `run_round` walks
+/// without any map lookups. The reference representation reproduces the
+/// seed's four separate ordered maps, so the recorded benchmark can
+/// attribute the win honestly.
+#[derive(Debug)]
+enum VersionStore {
+    Dense {
+        slots: Vec<VersionSlot>,
+        index: BTreeMap<ObjectVersion, u32>,
+        /// Slot indices of pending versions, sorted by object version so
+        /// rounds step versions in the same order as the reference maps.
+        pending: Vec<u32>,
+    },
+    Reference {
+        entries: BTreeMap<ObjectVersion, FragEntry>,
+        work: BTreeMap<ObjectVersion, ConvWork>,
+        amr: BTreeMap<ObjectVersion, SimTime>,
+        gave_up: BTreeSet<ObjectVersion>,
+    },
+}
+
+impl VersionStore {
+    fn new(dense: bool) -> Self {
+        if dense {
+            VersionStore::Dense {
+                slots: Vec::new(),
+                index: BTreeMap::new(),
+                pending: Vec::new(),
+            }
+        } else {
+            VersionStore::Reference {
+                entries: BTreeMap::new(),
+                work: BTreeMap::new(),
+                amr: BTreeMap::new(),
+                gave_up: BTreeSet::new(),
+            }
+        }
+    }
+
+    fn entry(&self, ov: ObjectVersion) -> Option<&FragEntry> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => {
+                index.get(&ov).map(|&s| &slots[s as usize].entry)
+            }
+            VersionStore::Reference { entries, .. } => entries.get(&ov),
+        }
+    }
+
+    fn entry_mut(&mut self, ov: ObjectVersion) -> Option<&mut FragEntry> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => {
+                index.get(&ov).map(|&s| &mut slots[s as usize].entry)
+            }
+            VersionStore::Reference { entries, .. } => entries.get_mut(&ov),
+        }
+    }
+
+    /// Entry access with a slot hint from `collect_pending`/`collect_known`
+    /// (skips the index walk in dense mode).
+    // lint:hot
+    fn entry_at(&self, ov: ObjectVersion, hint: u32) -> Option<&FragEntry> {
+        match self {
+            VersionStore::Dense { slots, .. } if hint != NO_SLOT => {
+                let slot = &slots[hint as usize];
+                debug_assert_eq!(slot.ov, ov);
+                Some(&slot.entry)
+            }
+            _ => self.entry(ov),
+        }
+    }
+
+    /// Mutable variant of [`VersionStore::entry_at`].
+    // lint:hot
+    fn entry_at_mut(&mut self, ov: ObjectVersion, hint: u32) -> Option<&mut FragEntry> {
+        if hint != NO_SLOT {
+            if let VersionStore::Dense { slots, .. } = self {
+                let slot = &mut slots[hint as usize];
+                debug_assert_eq!(slot.ov, ov);
+                return Some(&mut slot.entry);
+            }
+        }
+        self.entry_mut(ov)
+    }
+
+    /// The convergence work for `ov`, if it is pending.
+    fn work(&self, ov: ObjectVersion) -> Option<&ConvWork> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => {
+                match &slots[*index.get(&ov)? as usize].state {
+                    VersionState::Pending(w) => Some(w),
+                    _ => None,
+                }
+            }
+            VersionStore::Reference { work, .. } => work.get(&ov),
+        }
+    }
+
+    fn work_mut(&mut self, ov: ObjectVersion) -> Option<&mut ConvWork> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => {
+                match &mut slots[*index.get(&ov)? as usize].state {
+                    VersionState::Pending(w) => Some(w),
+                    _ => None,
+                }
+            }
+            VersionStore::Reference { work, .. } => work.get_mut(&ov),
+        }
+    }
+
+    /// Work access with a slot hint (see `entry_at_mut`).
+    // lint:hot
+    fn work_at(&self, ov: ObjectVersion, hint: u32) -> Option<&ConvWork> {
+        match self {
+            VersionStore::Dense { slots, .. } if hint != NO_SLOT => {
+                let slot = &slots[hint as usize];
+                debug_assert_eq!(slot.ov, ov);
+                match &slot.state {
+                    VersionState::Pending(w) => Some(w),
+                    _ => None,
+                }
+            }
+            _ => self.work(ov),
+        }
+    }
+
+    /// Mutable variant of [`VersionStore::work_at`].
+    // lint:hot
+    fn work_at_mut(&mut self, ov: ObjectVersion, hint: u32) -> Option<&mut ConvWork> {
+        if hint != NO_SLOT {
+            if let VersionStore::Dense { slots, .. } = self {
+                let slot = &mut slots[hint as usize];
+                debug_assert_eq!(slot.ov, ov);
+                return match &mut slot.state {
+                    VersionState::Pending(w) => Some(w),
+                    _ => None,
+                };
+            }
+        }
+        self.work_mut(ov)
+    }
+
+    /// Whether `ov` is settled (AMR or given up).
+    fn is_settled(&self, ov: ObjectVersion) -> bool {
+        match self {
+            VersionStore::Dense { slots, index, .. } => index
+                .get(&ov)
+                .is_some_and(|&s| !matches!(slots[s as usize].state, VersionState::Pending(_))),
+            VersionStore::Reference { amr, gave_up, .. } => {
+                amr.contains_key(&ov) || gave_up.contains(&ov)
+            }
+        }
+    }
+
+    fn amr_at(&self, ov: ObjectVersion) -> Option<SimTime> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => {
+                match slots[*index.get(&ov)? as usize].state {
+                    VersionState::Amr(at) => Some(at),
+                    _ => None,
+                }
+            }
+            VersionStore::Reference { amr, .. } => amr.get(&ov).copied(),
+        }
+    }
+
+    fn pending_is_empty(&self) -> bool {
+        match self {
+            VersionStore::Dense { pending, .. } => pending.is_empty(),
+            VersionStore::Reference { work, .. } => work.is_empty(),
+        }
+    }
+
+    /// Fills `out` with the pending versions in object-version order plus
+    /// slot hints, reusing `out`'s capacity.
+    // lint:hot
+    fn collect_pending(&self, out: &mut Vec<(ObjectVersion, u32)>) {
+        out.clear();
+        match self {
+            VersionStore::Dense { slots, pending, .. } => {
+                out.extend(pending.iter().map(|&s| (slots[s as usize].ov, s)));
+            }
+            VersionStore::Reference { work, .. } => {
+                out.extend(work.keys().map(|&ov| (ov, NO_SLOT)));
+            }
+        }
+    }
+
+    /// Fills `out` with every stored version plus slot hints (dense mode
+    /// iterates the slab linearly; the scrubber does not care about
+    /// order).
+    // lint:hot
+    fn collect_known(&self, out: &mut Vec<(ObjectVersion, u32)>) {
+        out.clear();
+        match self {
+            VersionStore::Dense { slots, .. } => {
+                out.extend(
+                    slots
+                        .iter()
+                        .enumerate()
+                        .map(|(i, slot)| (slot.ov, i as u32)),
+                );
+            }
+            VersionStore::Reference { entries, .. } => {
+                out.extend(entries.keys().map(|&ov| (ov, NO_SLOT)));
+            }
+        }
+    }
+
+    fn pending_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
+        match self {
+            VersionStore::Dense { slots, pending, .. } => {
+                Box::new(pending.iter().map(move |&s| slots[s as usize].ov))
+            }
+            VersionStore::Reference { work, .. } => Box::new(work.keys().copied()),
+        }
+    }
+
+    fn amr_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => Box::new(
+                index
+                    .iter()
+                    .filter(move |(_, &s)| matches!(slots[s as usize].state, VersionState::Amr(_)))
+                    .map(|(&ov, _)| ov),
+            ),
+            VersionStore::Reference { amr, .. } => Box::new(amr.keys().copied()),
+        }
+    }
+
+    fn gave_up_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => Box::new(
+                index
+                    .iter()
+                    .filter(move |(_, &s)| matches!(slots[s as usize].state, VersionState::GaveUp))
+                    .map(|(&ov, _)| ov),
+            ),
+            VersionStore::Reference { gave_up, .. } => Box::new(gave_up.iter().copied()),
+        }
+    }
+
+    fn known_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
+        match self {
+            VersionStore::Dense { index, .. } => Box::new(index.keys().copied()),
+            VersionStore::Reference { entries, .. } => Box::new(entries.keys().copied()),
+        }
+    }
+
+    /// Entry for `ov`, inserting a fresh one (which always starts
+    /// pending) built by `make` if absent. Returns the entry and whether
+    /// it was inserted.
+    fn entry_or_insert_with(
+        &mut self,
+        ov: ObjectVersion,
+        now: SimTime,
+        make: impl FnOnce() -> FragEntry,
+    ) -> (&mut FragEntry, bool) {
+        match self {
+            VersionStore::Dense {
+                slots,
+                index,
+                pending,
+            } => {
+                if let Some(&s) = index.get(&ov) {
+                    return (&mut slots[s as usize].entry, false);
+                }
+                let s = slots.len() as u32;
+                slots.push(VersionSlot {
+                    ov,
+                    entry: make(),
+                    state: VersionState::Pending(Box::new(ConvWork::new(now))),
+                });
+                index.insert(ov, s);
+                Self::pending_insert(slots, pending, s);
+                (&mut slots[s as usize].entry, true)
+            }
+            VersionStore::Reference { entries, work, .. } => {
+                let mut inserted = false;
+                let entry = entries.entry(ov).or_insert_with(|| {
+                    inserted = true;
+                    make()
+                });
+                if inserted {
+                    work.insert(ov, ConvWork::new(now));
+                }
+                (entry, inserted)
+            }
+        }
+    }
+
+    /// Settles `ov` as AMR at `at` (overwriting an earlier AMR time, as
+    /// the seed did), returning the pending work it displaced, if any.
+    fn settle_amr(&mut self, ov: ObjectVersion, at: SimTime) -> Option<ConvWork> {
+        match self {
+            VersionStore::Dense {
+                slots,
+                index,
+                pending,
+            } => {
+                let &s = index.get(&ov)?;
+                Self::pending_remove(slots, pending, ov);
+                match std::mem::replace(&mut slots[s as usize].state, VersionState::Amr(at)) {
+                    VersionState::Pending(w) => Some(*w),
+                    _ => None,
+                }
+            }
+            VersionStore::Reference {
+                work, amr, gave_up, ..
+            } => {
+                gave_up.remove(&ov);
+                amr.insert(ov, at);
+                work.remove(&ov)
+            }
+        }
+    }
+
+    /// Abandons `ov` (give-up age exceeded), returning its pending work.
+    fn settle_gave_up(&mut self, ov: ObjectVersion) -> Option<ConvWork> {
+        match self {
+            VersionStore::Dense {
+                slots,
+                index,
+                pending,
+            } => {
+                let &s = index.get(&ov)?;
+                Self::pending_remove(slots, pending, ov);
+                match std::mem::replace(&mut slots[s as usize].state, VersionState::GaveUp) {
+                    VersionState::Pending(w) => Some(*w),
+                    _ => None,
+                }
+            }
+            VersionStore::Reference { work, gave_up, .. } => {
+                gave_up.insert(ov);
+                work.remove(&ov)
+            }
+        }
+    }
+
+    /// Re-enters a stored version for convergence (after corruption or
+    /// disk loss), clearing any AMR/give-up mark; the returned work is
+    /// fresh or the still-pending one.
+    fn reopen(&mut self, ov: ObjectVersion, now: SimTime) -> &mut ConvWork {
+        match self {
+            VersionStore::Dense {
+                slots,
+                index,
+                pending,
+            } => {
+                let s = *index.get(&ov).expect("reopened version is stored");
+                if !matches!(slots[s as usize].state, VersionState::Pending(_)) {
+                    slots[s as usize].state = VersionState::Pending(Box::new(ConvWork::new(now)));
+                    Self::pending_insert(slots, pending, s);
+                }
+                match &mut slots[s as usize].state {
+                    VersionState::Pending(w) => w,
+                    _ => unreachable!("just made pending"),
+                }
+            }
+            VersionStore::Reference {
+                work, amr, gave_up, ..
+            } => {
+                amr.remove(&ov);
+                gave_up.remove(&ov);
+                work.entry(ov).or_insert_with(|| ConvWork::new(now))
+            }
+        }
+    }
+
+    /// The version whose in-flight recovery carries `op`, if any.
+    fn find_recovery(&self, op: OpId) -> Option<ObjectVersion> {
+        match self {
+            VersionStore::Dense { slots, pending, .. } => pending.iter().find_map(|&s| {
+                let slot = &slots[s as usize];
+                match &slot.state {
+                    VersionState::Pending(w) if w.recovery.as_ref().is_some_and(|r| r.op == op) => {
+                        Some(slot.ov)
+                    }
+                    _ => None,
+                }
+            }),
+            VersionStore::Reference { work, .. } => work
+                .iter()
+                .find_map(|(&ov, w)| w.recovery.as_ref().filter(|r| r.op == op).map(|_| ov)),
+        }
+    }
+
+    fn pending_insert(slots: &[VersionSlot], pending: &mut Vec<u32>, s: u32) {
+        let ov = slots[s as usize].ov;
+        if let Err(pos) = pending.binary_search_by(|&p| slots[p as usize].ov.cmp(&ov)) {
+            pending.insert(pos, s);
+        }
+    }
+
+    fn pending_remove(slots: &[VersionSlot], pending: &mut Vec<u32>, ov: ObjectVersion) {
+        if let Ok(pos) = pending.binary_search_by(|&p| slots[p as usize].ov.cmp(&ov)) {
+            pending.remove(pos);
+        }
+    }
+}
+
+/// Per-destination coalescing buffers for one batched convergence round
+/// (see [`ProtocolMode::batch_rounds`]). Entries accumulate while the
+/// round's parts are delivered individually; `flush_round_batch` then
+/// records one multi-entry message per destination and kind.
+#[derive(Default)]
+struct RoundBatch {
+    kls: BTreeMap<NodeId, Vec<(ObjectVersion, Arc<Metadata>)>>,
+    fs: BTreeMap<NodeId, Vec<(ObjectVersion, Arc<Metadata>, bool)>>,
+    amr: BTreeMap<NodeId, Vec<(ObjectVersion, Arc<Metadata>)>>,
+}
+
 /// A fragment server actor.
 pub struct Fs {
     topo: Arc<Topology>,
@@ -124,13 +567,15 @@ pub struct Fs {
     /// Own node id, captured at `on_start` (actors learn their id from the
     /// context).
     self_id: Option<NodeId>,
-    storefrag: BTreeMap<ObjectVersion, FragEntry>,
-    storemeta: BTreeMap<ObjectVersion, ConvWork>,
-    /// Versions verified (or indicated) AMR (with when this FS settled
-    /// them); no further convergence work.
-    amr_done: BTreeMap<ObjectVersion, SimTime>,
-    /// Versions abandoned after `give_up_age`.
-    gave_up: BTreeSet<ObjectVersion>,
+    /// Protocol hot-path switches, captured at construction.
+    mode: ProtocolMode,
+    /// Cached `topo.all_klss().count()` for the verification check.
+    total_klss: usize,
+    /// Every version this FS knows, with its fragments, metadata and
+    /// convergence state.
+    store: VersionStore,
+    /// Coalescing buffers, `Some` only while a batched round is running.
+    batch: Option<RoundBatch>,
     round_scheduled: bool,
     next_op: OpId,
     /// Convergence steps executed (for tests and ablations).
@@ -144,21 +589,35 @@ pub struct Fs {
     codecs: BTreeMap<(u8, u8), Codec>,
     /// Reusable fragment-list scratch for the recovery path.
     recover_scratch: Vec<Fragment>,
+    /// Reusable `(version, slot hint)` list for `run_round` and `scrub`,
+    /// so steady-state rounds do not allocate a version list each tick.
+    version_scratch: Vec<(ObjectVersion, u32)>,
 }
 
 impl Fs {
     /// Creates the FS for data center `my_dc` with the given convergence
-    /// configuration.
+    /// configuration, using the process-global [`ProtocolMode`].
     pub fn new(topo: Arc<Topology>, my_dc: DataCenterId, opts: ConvergenceOptions) -> Self {
+        Self::with_mode(topo, my_dc, opts, ProtocolMode::current())
+    }
+
+    /// Creates the FS with an explicit [`ProtocolMode`].
+    pub fn with_mode(
+        topo: Arc<Topology>,
+        my_dc: DataCenterId,
+        opts: ConvergenceOptions,
+        mode: ProtocolMode,
+    ) -> Self {
+        let total_klss = topo.all_klss().count();
         Fs {
             topo,
             my_dc,
             opts,
             self_id: None,
-            storefrag: BTreeMap::new(),
-            storemeta: BTreeMap::new(),
-            amr_done: BTreeMap::new(),
-            gave_up: BTreeSet::new(),
+            mode,
+            total_klss,
+            store: VersionStore::new(mode.share_metadata),
+            batch: None,
             round_scheduled: false,
             next_op: 1,
             steps_run: 0,
@@ -166,6 +625,7 @@ impl Fs {
             corruption_detected: 0,
             codecs: BTreeMap::new(),
             recover_scratch: Vec::new(),
+            version_scratch: Vec::new(),
         }
     }
 
@@ -184,46 +644,45 @@ impl Fs {
 
     /// The stored entry for `ov`, if any.
     pub fn entry(&self, ov: ObjectVersion) -> Option<&FragEntry> {
-        self.storefrag.get(&ov)
+        self.store.entry(ov)
     }
 
     /// Whether this FS holds every fragment assigned to it by `ov`'s
     /// metadata and that metadata is complete (the per-FS half of the AMR
     /// condition; the paper's `verify(storefrag[ov])`).
     pub fn verified(&self, ov: ObjectVersion) -> bool {
-        self.storefrag.get(&ov).is_some_and(|e| {
+        self.store.entry(ov).is_some_and(|e| {
             e.meta.is_complete()
                 && e.meta
-                    .fragments_of(self.self_node())
-                    .iter()
-                    .all(|idx| e.fragments.contains_key(idx))
+                    .assigned_to(self.self_node())
+                    .all(|idx| e.fragments.contains_key(&idx))
         })
     }
 
     /// Versions still being converged.
     pub fn pending_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
-        self.storemeta.keys().copied()
+        self.store.pending_versions()
     }
 
     /// Versions this FS considers AMR.
     pub fn amr_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
-        self.amr_done.keys().copied()
+        self.store.amr_versions()
     }
 
     /// When this FS settled `ov` as AMR (verified it, or received an AMR
     /// indication), if it has.
     pub fn amr_settled_at(&self, ov: ObjectVersion) -> Option<SimTime> {
-        self.amr_done.get(&ov).copied()
+        self.store.amr_at(ov)
     }
 
     /// Every version present in the fragment store.
     pub fn known_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
-        self.storefrag.keys().copied()
+        self.store.known_versions()
     }
 
     /// Versions abandoned after exceeding the give-up age.
     pub fn gave_up_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
-        self.gave_up.iter().copied()
+        self.store.gave_up_versions()
     }
 
     /// Total convergence steps this FS has executed.
@@ -250,7 +709,7 @@ impl Fs {
     /// scrubber disabled and detection to happen on the next read
     /// instead.
     pub fn corrupt_fragment(&mut self, ov: ObjectVersion, idx: FragmentIndex) -> bool {
-        let Some(entry) = self.storefrag.get_mut(&ov) else {
+        let Some(entry) = self.store.entry_mut(ov) else {
             return false;
         };
         let Some(frag) = entry.fragments.get_mut(&idx) else {
@@ -276,10 +735,10 @@ impl Fs {
             None => return 0, // never ran; stores nothing
         };
         let mut lost = 0;
-        let versions: Vec<ObjectVersion> = self.storefrag.keys().copied().collect();
+        let versions: Vec<ObjectVersion> = self.store.known_versions().collect();
         for ov in versions {
             let doomed: Vec<FragmentIndex> = {
-                let entry = &self.storefrag[&ov];
+                let entry = self.store.entry(ov).expect("listed");
                 entry
                     .meta
                     .assignments()
@@ -292,7 +751,7 @@ impl Fs {
             if doomed.is_empty() {
                 continue;
             }
-            let entry = self.storefrag.get_mut(&ov).expect("present");
+            let entry = self.store.entry_mut(ov).expect("present");
             for idx in &doomed {
                 entry.fragments.remove(idx);
                 entry.checksums.remove(idx);
@@ -306,12 +765,7 @@ impl Fs {
     /// Re-enters a version into the convergence store (after corruption
     /// or disk loss), clearing any AMR/give-up status.
     fn re_pend(&mut self, ov: ObjectVersion, now: SimTime) {
-        self.amr_done.remove(&ov);
-        self.gave_up.remove(&ov);
-        let work = self
-            .storemeta
-            .entry(ov)
-            .or_insert_with(|| ConvWork::new(now));
+        let work = self.store.reopen(ov, now);
         work.attempts = 0;
         work.next_eligible = now;
     }
@@ -320,36 +774,40 @@ impl Fs {
     /// corrupted fragments are dropped and their versions re-entered for
     /// convergence (which regenerates them from the siblings). Returns
     /// the number of corrupted fragments found.
+    // lint:hot
     fn scrub(&mut self, ctx: &mut Context<'_, Message>) -> usize {
         let now = ctx.now();
         let mut found = 0;
-        let versions: Vec<ObjectVersion> = self.storefrag.keys().copied().collect();
-        for ov in versions {
-            let bad: Vec<FragmentIndex> = {
-                let entry = &self.storefrag[&ov];
-                entry
-                    .fragments
-                    .iter()
-                    .filter(|(idx, frag)| {
-                        !entry
-                            .checksums
-                            .get(idx)
-                            .is_some_and(|sum| sum.verify(frag.data()))
-                    })
-                    .map(|(&idx, _)| idx)
-                    .collect()
-            };
-            if bad.is_empty() {
-                continue;
-            }
-            let entry = self.storefrag.get_mut(&ov).expect("present");
-            for idx in &bad {
-                entry.fragments.remove(idx);
-                entry.checksums.remove(idx);
-                found += 1;
+        let mut versions = std::mem::take(&mut self.version_scratch);
+        self.store.collect_known(&mut versions);
+        for &(ov, hint) in &versions {
+            // Corrupted fragment indices as a mask: no per-version list
+            // allocation on the (usually clean) scrub walk.
+            let mut bad = FragMask::new();
+            {
+                let entry = self.store.entry_at_mut(ov, hint).expect("listed");
+                for (&idx, frag) in &entry.fragments {
+                    if !entry
+                        .checksums
+                        .get(&idx)
+                        .is_some_and(|sum| sum.verify(frag.data()))
+                    {
+                        bad.insert(idx);
+                    }
+                }
+                if bad.is_empty() {
+                    continue;
+                }
+                for idx in bad.iter() {
+                    entry.fragments.remove(&idx);
+                    entry.checksums.remove(&idx);
+                    found += 1;
+                }
             }
             self.re_pend(ov, now);
         }
+        versions.clear();
+        self.version_scratch = versions;
         self.corruption_detected += found as u64;
         if found > 0 {
             self.ensure_round(ctx);
@@ -367,7 +825,7 @@ impl Fs {
     }
 
     fn ensure_round(&mut self, ctx: &mut Context<'_, Message>) {
-        if self.round_scheduled || self.storemeta.is_empty() {
+        if self.round_scheduled || self.store.pending_is_empty() {
             return;
         }
         let delay = match self.opts.schedule {
@@ -391,32 +849,37 @@ impl Fs {
     /// New information arrived for `ov`: reset its backoff so convergence
     /// reacts promptly, and make sure a round is coming.
     fn note_progress(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
-        if let Some(work) = self.storemeta.get_mut(&ov) {
+        if let Some(work) = self.store.work_mut(ov) {
             work.attempts = 0;
             work.next_eligible = ctx.now();
         }
         self.ensure_round(ctx);
     }
 
-    /// Ensures both stores track `ov` (unless it is already AMR) and
-    /// merges `meta` in. Returns `true` if the metadata gained locations.
+    /// Ensures the store tracks `ov` (pending unless it is already
+    /// settled) and merges `meta` in. Returns `true` if the metadata
+    /// gained locations.
+    // lint:hot
     fn adopt(
         &mut self,
         ctx: &mut Context<'_, Message>,
         ov: ObjectVersion,
-        meta: &Metadata,
+        meta: &Arc<Metadata>,
     ) -> bool {
-        let entry = self.storefrag.entry(ov).or_insert_with(|| FragEntry {
-            meta: meta.clone(),
+        let now = ctx.now();
+        let mode = self.mode;
+        let (entry, _inserted) = self.store.entry_or_insert_with(ov, now, || FragEntry {
+            meta: mode.share(meta),
             fragments: BTreeMap::new(),
             checksums: BTreeMap::new(),
         });
-        let changed = entry.meta.merge(meta);
-        if !self.amr_done.contains_key(&ov) && !self.gave_up.contains(&ov) {
-            let now = ctx.now();
-            self.storemeta
-                .entry(ov)
-                .or_insert_with(|| ConvWork::new(now));
+        let changed = if mode.share_metadata {
+            Metadata::merge_shared(&mut entry.meta, meta)
+        } else {
+            // Reference cost model: the seed's unconditional merge walk.
+            Arc::make_mut(&mut entry.meta).merge(meta)
+        };
+        if !self.store.is_settled(ov) {
             if changed {
                 self.note_progress(ctx, ov);
             } else {
@@ -429,26 +892,140 @@ impl Fs {
     /// Marks `ov` AMR: drop convergence work, optionally broadcast FS AMR
     /// indications.
     fn finalize_amr(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion, indicate: bool) {
-        if let Some(work) = self.storemeta.remove(&ov) {
+        if let Some(work) = self.store.settle_amr(ov, ctx.now()) {
             if let Some(rec) = work.recovery {
                 self.cancel_recovery_timers(ctx, &rec);
             }
         }
-        self.amr_done.insert(ov, ctx.now());
         if indicate && self.opts.fs_amr_indication {
             let me = ctx.self_id();
-            let meta = self.storefrag[&ov].meta.clone();
+            let meta = Arc::clone(
+                &self
+                    .store
+                    .entry(ov)
+                    .expect("settled versions are stored")
+                    .meta,
+            );
             for fs in meta.sibling_fss() {
                 if fs != me {
-                    ctx.send(
-                        fs,
-                        Message::AmrIndication {
-                            ov,
-                            meta: meta.clone(),
-                        },
-                    );
+                    let share = self.mode.share(&meta);
+                    self.send_amr_indication(ctx, fs, ov, share);
                 }
             }
+        }
+    }
+
+    // ---- batched-round send helpers ----
+    //
+    // Inside a batched round (`self.batch` is `Some`) these deliver each
+    // message individually through the simulated channel — drawing exactly
+    // the RNG an unbatched send would, so behavior is bit-identical — but
+    // defer the metric record: the flush below accounts one multi-entry
+    // message per destination and kind instead. Outside a round they are
+    // plain sends.
+
+    // lint:hot
+    fn send_converge_kls(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        to: NodeId,
+        ov: ObjectVersion,
+        meta: Arc<Metadata>,
+    ) {
+        match &mut self.batch {
+            Some(batch) => {
+                ctx.send_coalesced_part(
+                    to,
+                    Message::ConvergeKls {
+                        ov,
+                        meta: Arc::clone(&meta),
+                    },
+                );
+                batch.kls.entry(to).or_default().push((ov, meta));
+            }
+            None => ctx.send(to, Message::ConvergeKls { ov, meta }),
+        }
+    }
+
+    // lint:hot
+    fn send_converge_fs(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        to: NodeId,
+        ov: ObjectVersion,
+        meta: Arc<Metadata>,
+        recovery_intent: bool,
+    ) {
+        match &mut self.batch {
+            Some(batch) => {
+                ctx.send_coalesced_part(
+                    to,
+                    Message::ConvergeFs {
+                        ov,
+                        meta: Arc::clone(&meta),
+                        recovery_intent,
+                    },
+                );
+                batch
+                    .fs
+                    .entry(to)
+                    .or_default()
+                    .push((ov, meta, recovery_intent));
+            }
+            None => ctx.send(
+                to,
+                Message::ConvergeFs {
+                    ov,
+                    meta,
+                    recovery_intent,
+                },
+            ),
+        }
+    }
+
+    // lint:hot
+    fn send_amr_indication(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        to: NodeId,
+        ov: ObjectVersion,
+        meta: Arc<Metadata>,
+    ) {
+        match &mut self.batch {
+            Some(batch) => {
+                ctx.send_coalesced_part(
+                    to,
+                    Message::AmrIndication {
+                        ov,
+                        meta: Arc::clone(&meta),
+                    },
+                );
+                batch.amr.entry(to).or_default().push((ov, meta));
+            }
+            None => ctx.send(to, Message::AmrIndication { ov, meta }),
+        }
+    }
+
+    /// Records the round's coalesced traffic: one multi-entry message per
+    /// destination and kind (one shared header, per-entry bodies).
+    fn flush_round_batch(&mut self, ctx: &mut Context<'_, Message>) {
+        let Some(batch) = self.batch.take() else {
+            return;
+        };
+        for (_, entries) in batch.kls {
+            let n = entries.len() as u64;
+            let msg = Message::ConvergeKlsBatch { entries };
+            ctx.record_coalesced(&msg, n);
+        }
+        for (_, entries) in batch.fs {
+            let n = entries.len() as u64;
+            let msg = Message::ConvergeFsBatch { entries };
+            ctx.record_coalesced(&msg, n);
+        }
+        for (_, entries) in batch.amr {
+            let n = entries.len() as u64;
+            let msg = Message::AmrIndicationBatch { entries };
+            ctx.record_coalesced(&msg, n);
         }
     }
 
@@ -462,7 +1039,7 @@ impl Fs {
     /// Abandons an in-flight recovery (backoff already set by the step
     /// that started it).
     fn abort_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
-        if let Some(work) = self.storemeta.get_mut(&ov) {
+        if let Some(work) = self.store.work_mut(ov) {
             if let Some(rec) = work.recovery.take() {
                 let rec_timers = rec;
                 self.cancel_recovery_timers(ctx, &rec_timers);
@@ -471,11 +1048,18 @@ impl Fs {
     }
 
     /// Runs one convergence round (the paper's `start_round`).
+    // lint:hot
     fn run_round(&mut self, ctx: &mut Context<'_, Message>) {
         let now = ctx.now();
-        let versions: Vec<ObjectVersion> = self.storemeta.keys().copied().collect();
-        for ov in versions {
-            let work = &self.storemeta[&ov];
+        if self.mode.batch_rounds {
+            self.batch = Some(RoundBatch::default());
+        }
+        let mut versions = std::mem::take(&mut self.version_scratch);
+        self.store.collect_pending(&mut versions);
+        for &(ov, hint) in &versions {
+            let Some(work) = self.store.work_at(ov, hint) else {
+                continue;
+            };
             if work.recovery.is_some() || now < work.next_eligible {
                 continue;
             }
@@ -484,40 +1068,44 @@ impl Fs {
             }
             if let Some(limit) = self.opts.give_up_age {
                 if now.duration_since(work.created) > limit {
-                    self.storemeta.remove(&ov);
-                    self.gave_up.insert(ov);
+                    self.store.settle_gave_up(ov);
                     continue;
                 }
             }
-            self.step(ctx, ov);
+            self.step(ctx, ov, hint);
         }
+        versions.clear();
+        self.version_scratch = versions;
+        self.flush_round_batch(ctx);
         self.ensure_round(ctx);
     }
 
     /// One convergence step for one object version.
-    fn step(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
+    // lint:hot
+    fn step(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion, hint: u32) {
         self.steps_run += 1;
         let me = ctx.self_id();
         let entry = self
-            .storefrag
-            .get(&ov)
-            .expect("storemeta implies storefrag");
-        let meta = entry.meta.clone();
-        let missing = self.missing_fragments(me, &ov);
+            .store
+            .entry_at(ov, hint)
+            .expect("pending implies stored");
+        let meta = Arc::clone(&entry.meta);
+        let missing = Self::missing_mask(entry, me);
 
         // Charge the backoff up front; any new information resets it.
-        {
-            let work = self.storemeta.get_mut(&ov).expect("checked by caller");
+        let attempt = {
+            let work = self.store.work_at_mut(ov, hint).expect("checked by caller");
             work.attempts += 1;
             let delay = self.opts.backoff_delay(work.attempts);
             work.next_eligible = ctx.now() + delay;
             work.step_open = false;
-        }
+            work.attempts as usize
+        };
 
         if !meta.is_complete() {
             // 1. Metadata repair: probe one KLS per missing DC, rotating
             // through the DC's KLSs across attempts (§3.5 fixed order).
-            let attempt = self.storemeta[&ov].attempts as usize;
+            // Repair probes are rare and never batched.
             for dc in self.topo.dc_ids() {
                 if meta.has_dc(dc) {
                     continue;
@@ -528,7 +1116,7 @@ impl Fs {
                     kls,
                     Message::FsDecideLocs {
                         ov,
-                        meta: meta.clone(),
+                        meta: self.mode.share(&meta),
                     },
                 );
             }
@@ -537,30 +1125,21 @@ impl Fs {
             self.start_recovery(ctx, ov);
         } else {
             // 3. Verification: probe all KLSs and sibling FSs.
-            let work = self.storemeta.get_mut(&ov).expect("present");
-            work.kls_ok.clear();
-            work.fs_ok.clear();
-            work.step_open = true;
+            {
+                let work = self.store.work_at_mut(ov, hint).expect("present");
+                work.kls_ok.clear();
+                work.fs_ok.clear();
+                work.step_open = true;
+            }
             let klss: Vec<NodeId> = self.topo.all_klss().collect();
             for kls in klss {
-                ctx.send(
-                    kls,
-                    Message::ConvergeKls {
-                        ov,
-                        meta: meta.clone(),
-                    },
-                );
+                let share = self.mode.share(&meta);
+                self.send_converge_kls(ctx, kls, ov, share);
             }
             for fs in meta.sibling_fss() {
                 if fs != me {
-                    ctx.send(
-                        fs,
-                        Message::ConvergeFs {
-                            ov,
-                            meta: meta.clone(),
-                            recovery_intent: false,
-                        },
-                    );
+                    let share = self.mode.share(&meta);
+                    self.send_converge_fs(ctx, fs, ov, share, false);
                 }
             }
             self.check_amr(ctx, ov);
@@ -568,42 +1147,38 @@ impl Fs {
     }
 
     /// Fragment indices assigned to `me` that are not in the store.
-    fn missing_fragments(&self, me: NodeId, ov: &ObjectVersion) -> Vec<FragmentIndex> {
-        let entry = &self.storefrag[ov];
-        entry
-            .meta
-            .fragments_of(me)
-            .into_iter()
-            .filter(|idx| !entry.fragments.contains_key(idx))
-            .collect()
+    // lint:hot
+    fn missing_mask(entry: &FragEntry, me: NodeId) -> FragMask {
+        let mut mask = FragMask::new();
+        for idx in entry.meta.assigned_to(me) {
+            if !entry.fragments.contains_key(&idx) {
+                mask.insert(idx);
+            }
+        }
+        mask
     }
 
     fn start_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
         let me = ctx.self_id();
         let op = self.next_op;
         self.next_op += 1;
-        let meta = self.storefrag[&ov].meta.clone();
+        let meta = Arc::clone(&self.store.entry(ov).expect("pending implies stored").meta);
         let timeout_timer =
             ctx.schedule_timer(self.opts.recovery_timeout, TAG_RECOVERY_TIMEOUT | op);
 
         if self.opts.sibling_recovery {
             // Probe siblings with the recovery-intent flag; their replies
             // report what they need; we fetch after a short accumulation
-            // window.
+            // window. The probes are convergence traffic emitted by a
+            // round, so a batching FS coalesces them too.
             for fs in meta.sibling_fss() {
                 if fs != me {
-                    ctx.send(
-                        fs,
-                        Message::ConvergeFs {
-                            ov,
-                            meta: meta.clone(),
-                            recovery_intent: true,
-                        },
-                    );
+                    let share = self.mode.share(&meta);
+                    self.send_converge_fs(ctx, fs, ov, share, true);
                 }
             }
             let wait_timer = ctx.schedule_timer(self.opts.recovery_wait, TAG_RECOVERY_WAIT | op);
-            let work = self.storemeta.get_mut(&ov).expect("present");
+            let work = self.store.work_mut(ov).expect("present");
             work.recovery = Some(Recovery {
                 op,
                 phase: RecoveryPhase::AwaitingReports,
@@ -627,7 +1202,7 @@ impl Fs {
                     );
                 }
             }
-            let work = self.storemeta.get_mut(&ov).expect("present");
+            let work = self.store.work_mut(ov).expect("present");
             work.recovery = Some(Recovery {
                 op,
                 phase: RecoveryPhase::Fetching,
@@ -642,20 +1217,22 @@ impl Fs {
     /// The recovery-wait window closed: pick fragments to fetch based on
     /// the siblings' reports.
     fn recovery_wait_elapsed(&mut self, ctx: &mut Context<'_, Message>, op: OpId) {
-        let Some((ov, _)) = self.find_recovery(op) else {
+        let Some(ov) = self.store.find_recovery(op) else {
             return;
         };
         let me = ctx.self_id();
-        let local: BTreeSet<FragmentIndex> =
-            self.storefrag[&ov].fragments.keys().copied().collect();
-        let k = usize::from(self.storefrag[&ov].meta.policy().k);
+        let (local, k) = {
+            let entry = self.store.entry(ov).expect("recovering implies stored");
+            let local: BTreeSet<FragmentIndex> = entry.fragments.keys().copied().collect();
+            (local, usize::from(entry.meta.policy().k))
+        };
 
         // Plan fetches: iterate reports in id order, taking fragments we
         // neither hold nor already planned, until k total are available.
         let mut plan: Vec<(NodeId, FragmentIndex)> = Vec::new();
         let mut planned: BTreeSet<FragmentIndex> = local.clone();
         {
-            let work = self.storemeta.get_mut(&ov).expect("recovering");
+            let work = self.store.work_mut(ov).expect("recovering");
             let rec = work.recovery.as_mut().expect("recovering");
             rec.phase = RecoveryPhase::Fetching;
             rec.wait_timer = None;
@@ -679,11 +1256,6 @@ impl Fs {
         }
         debug_assert!(!plan.iter().any(|(fs, _)| *fs == me));
         for (fs, idx) in plan {
-            let op = self.storemeta[&ov]
-                .recovery
-                .as_ref()
-                .expect("recovering")
-                .op;
             ctx.send(
                 fs,
                 Message::RetrieveFrag {
@@ -700,44 +1272,50 @@ impl Fs {
         }
     }
 
-    fn find_recovery(&self, op: OpId) -> Option<(ObjectVersion, &Recovery)> {
-        self.storemeta
-            .iter()
-            .find_map(|(ov, w)| w.recovery.as_ref().filter(|r| r.op == op).map(|r| (*ov, r)))
-    }
-
     /// Completes the recovery if enough fragments are on hand: regenerate
     /// our missing fragments (and, in sibling mode, everything the
     /// siblings reported missing) and push the siblings' shares to them.
     fn try_finish_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
         let me = ctx.self_id();
-        let entry = &self.storefrag[&ov];
-        let policy = *entry.meta.policy();
+        let (policy, value_len, meta, my_mask, pool, sibling_needs) = {
+            let entry = self.store.entry(ov).expect("recovering implies stored");
+            let work = self.store.work(ov).expect("recovering");
+            let rec = work.recovery.as_ref().expect("recovery in flight");
+            let mut pool: BTreeMap<FragmentIndex, Fragment> = entry.fragments.clone();
+            for (idx, frag) in &rec.collected {
+                pool.entry(*idx).or_insert_with(|| frag.clone());
+            }
+            let mut sibling_needs: Vec<(NodeId, Vec<FragmentIndex>)> = Vec::new();
+            if self.opts.sibling_recovery {
+                for (&fs, (_, missing)) in &rec.reports {
+                    if !missing.is_empty() {
+                        sibling_needs.push((fs, missing.clone()));
+                    }
+                }
+            }
+            (
+                *entry.meta.policy(),
+                entry.meta.value_len(),
+                Arc::clone(&entry.meta),
+                Self::missing_mask(entry, me),
+                pool,
+                sibling_needs,
+            )
+        };
         let k = usize::from(policy.k);
-        let value_len = entry.meta.value_len();
-
-        let work = &self.storemeta[&ov];
-        let rec = work.recovery.as_ref().expect("recovery in flight");
-        let mut pool: BTreeMap<FragmentIndex, Fragment> = entry.fragments.clone();
-        for (idx, frag) in &rec.collected {
-            pool.entry(*idx).or_insert_with(|| frag.clone());
-        }
         if pool.len() < k {
             return; // keep waiting for more RetrieveFragReply
         }
 
-        let mut targets: Vec<FragmentIndex> = self.missing_fragments(me, &ov);
-        let mut sibling_needs: Vec<(NodeId, Vec<FragmentIndex>)> = Vec::new();
-        if self.opts.sibling_recovery {
-            for (&fs, (_, missing)) in &rec.reports {
-                if !missing.is_empty() {
-                    sibling_needs.push((fs, missing.clone()));
-                    targets.extend(missing.iter().copied());
-                }
+        // Regeneration targets: our own missing fragments plus everything
+        // the siblings reported missing, deduplicated by the mask.
+        let mut target_mask = my_mask;
+        for (_, needs) in &sibling_needs {
+            for &idx in needs {
+                target_mask.insert(idx);
             }
         }
-        targets.sort_unstable();
-        targets.dedup();
+        let targets: Vec<FragmentIndex> = target_mask.iter().collect();
 
         let sources: Vec<Fragment> = pool.values().cloned().collect();
         let mut recovered = std::mem::take(&mut self.recover_scratch);
@@ -749,11 +1327,9 @@ impl Fs {
         self.recover_scratch = recovered;
 
         // Store our own missing fragments.
-        let my_missing = self.missing_fragments(me, &ov);
-        let meta = self.storefrag[&ov].meta.clone();
         {
-            let entry = self.storefrag.get_mut(&ov).expect("present");
-            for idx in my_missing {
+            let entry = self.store.entry_mut(ov).expect("present");
+            for idx in my_mask.iter() {
                 let frag = by_idx[&idx].clone();
                 entry.checksums.insert(idx, Checksum::of(frag.data()));
                 entry.fragments.insert(idx, frag);
@@ -762,11 +1338,12 @@ impl Fs {
         // Push the siblings' recovered fragments to them (§4.2).
         for (fs, needs) in sibling_needs {
             for idx in needs {
+                let share = self.mode.share(&meta);
                 ctx.send(
                     fs,
                     Message::SiblingStore {
                         ov,
-                        meta: meta.clone(),
+                        meta: share,
                         fragment: by_idx[&idx].clone(),
                     },
                 );
@@ -774,7 +1351,7 @@ impl Fs {
         }
 
         self.recoveries_done += 1;
-        let work = self.storemeta.get_mut(&ov).expect("present");
+        let work = self.store.work_mut(ov).expect("present");
         let rec = work.recovery.take().expect("recovery in flight");
         self.cancel_recovery_timers(ctx, &rec);
         self.note_progress(ctx, ov);
@@ -784,23 +1361,25 @@ impl Fs {
     /// verified (the paper's `is_amr`).
     fn check_amr(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
         let me = ctx.self_id();
-        let Some(work) = self.storemeta.get(&ov) else {
+        let Some(work) = self.store.work(ov) else {
             return;
         };
         if !work.step_open {
             return;
         }
-        let meta = &self.storefrag[&ov].meta;
-        let all_kls: BTreeSet<NodeId> = self.topo.all_klss().collect();
-        let siblings: BTreeSet<NodeId> = meta
+        // `kls_ok` only ever holds KLSs that replied verified, so reaching
+        // the cluster's KLS count is the seed's superset-of-all-KLSs test
+        // without rebuilding that set per reply.
+        if work.kls_ok.len() < self.total_klss {
+            return;
+        }
+        let meta = &self.store.entry(ov).expect("pending implies stored").meta;
+        let all_siblings_ok = meta
             .sibling_fss()
             .into_iter()
             .filter(|&fs| fs != me)
-            .collect();
-        if work.kls_ok.is_superset(&all_kls)
-            && work.fs_ok.is_superset(&siblings)
-            && self.verified(ov)
-        {
+            .all(|fs| work.fs_ok.contains(&fs));
+        if all_siblings_ok && self.verified(ov) {
             self.finalize_amr(ctx, ov, true);
         }
     }
@@ -810,17 +1389,62 @@ impl Fs {
         &mut self,
         ctx: &mut Context<'_, Message>,
         ov: ObjectVersion,
-        meta: &Metadata,
+        meta: &Arc<Metadata>,
         fragment: Fragment,
     ) {
         self.adopt(ctx, ov, meta);
-        let entry = self.storefrag.get_mut(&ov).expect("adopted");
+        let entry = self.store.entry_mut(ov).expect("adopted");
         let idx = fragment.index();
         if !entry.fragments.contains_key(&idx) {
             entry.checksums.insert(idx, Checksum::of(fragment.data()));
             entry.fragments.insert(idx, fragment);
         }
         self.note_progress(ctx, ov);
+    }
+
+    /// Handles one FS convergence probe — the singular message or one
+    /// entry of a coalesced batch (replies are per entry either way).
+    fn on_converge_fs(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: NodeId,
+        ov: ObjectVersion,
+        meta: &Arc<Metadata>,
+        recovery_intent: bool,
+    ) {
+        let me = ctx.self_id();
+        self.adopt(ctx, ov, meta);
+        // Sibling-recovery contention: both of us are recovering — the FS
+        // with the *lower* id backs off (§4.2).
+        if recovery_intent && self.opts.sibling_recovery && me < from {
+            let ours = self
+                .store
+                .work(ov)
+                .and_then(|w| w.recovery.as_ref())
+                .map(|r| r.op);
+            if let Some(op) = ours {
+                self.recovery_cancelled(ctx, ov, op);
+            }
+        }
+        let entry = self.store.entry(ov).expect("adopted");
+        let have: Vec<FragmentIndex> = entry.fragments.keys().copied().collect();
+        let missing: Vec<FragmentIndex> = if entry.meta.is_complete() {
+            Self::missing_mask(entry, me).iter().collect()
+        } else {
+            Vec::new()
+        };
+        let verified = self.verified(ov);
+        let recovering = self.store.work(ov).is_some_and(|w| w.recovery.is_some());
+        ctx.send(
+            from,
+            Message::ConvergeFsReply {
+                ov,
+                verified,
+                have,
+                missing,
+                recovering,
+            },
+        );
     }
 
     /// Self id captured from the first processed event (actors do not know
@@ -854,7 +1478,7 @@ impl Actor<Message> for Fs {
                 // Proxy location update for a fragment we already hold
                 // (second wave of the put, §5.2).
                 self.adopt(ctx, ov, &meta);
-                let complete = self.storefrag[&ov].meta.is_complete();
+                let complete = self.store.entry(ov).expect("adopted").meta.is_complete();
                 ctx.send(from, Message::StoreMetadataReply { ov, complete });
             }
 
@@ -868,16 +1492,17 @@ impl Actor<Message> for Fs {
             }
 
             Message::AmrIndication { ov, meta } => {
-                // Complete our metadata and stop all convergence work.
+                // Complete our metadata and stop all convergence work
+                // (cancelling recovery timers), without re-indicating.
                 self.adopt(ctx, ov, &meta);
-                if let Some(work) = self.storemeta.get(&ov) {
-                    if let Some(rec) = &work.recovery {
-                        let op = rec.op;
-                        self.recovery_cancelled(ctx, ov, op);
-                    }
+                self.finalize_amr(ctx, ov, false);
+            }
+
+            Message::AmrIndicationBatch { entries } => {
+                for (ov, meta) in entries {
+                    self.adopt(ctx, ov, &meta);
+                    self.finalize_amr(ctx, ov, false);
                 }
-                self.storemeta.remove(&ov);
-                self.amr_done.insert(ov, ctx.now());
             }
 
             Message::ConvergeFs {
@@ -885,42 +1510,13 @@ impl Actor<Message> for Fs {
                 meta,
                 recovery_intent,
             } => {
-                self.adopt(ctx, ov, &meta);
-                // Sibling-recovery contention: both of us are recovering —
-                // the FS with the *lower* id backs off (§4.2).
-                if recovery_intent
-                    && self.opts.sibling_recovery
-                    && me < from
-                    && self
-                        .storemeta
-                        .get(&ov)
-                        .is_some_and(|w| w.recovery.is_some())
-                {
-                    let op = self.storemeta[&ov].recovery.as_ref().expect("checked").op;
-                    self.recovery_cancelled(ctx, ov, op);
+                self.on_converge_fs(ctx, from, ov, &meta, recovery_intent);
+            }
+
+            Message::ConvergeFsBatch { entries } => {
+                for (ov, meta, recovery_intent) in entries {
+                    self.on_converge_fs(ctx, from, ov, &meta, recovery_intent);
                 }
-                let entry = &self.storefrag[&ov];
-                let have: Vec<FragmentIndex> = entry.fragments.keys().copied().collect();
-                let missing = if entry.meta.is_complete() {
-                    self.missing_fragments(me, &ov)
-                } else {
-                    Vec::new()
-                };
-                let verified = self.verified(ov);
-                let recovering = self
-                    .storemeta
-                    .get(&ov)
-                    .is_some_and(|w| w.recovery.is_some());
-                ctx.send(
-                    from,
-                    Message::ConvergeFsReply {
-                        ov,
-                        verified,
-                        have,
-                        missing,
-                        recovering,
-                    },
-                );
             }
 
             Message::ConvergeFsReply {
@@ -930,7 +1526,7 @@ impl Actor<Message> for Fs {
                 missing,
                 recovering,
             } => {
-                let Some(work) = self.storemeta.get_mut(&ov) else {
+                let Some(work) = self.store.work_mut(ov) else {
                     return;
                 };
                 // Verification bookkeeping.
@@ -938,6 +1534,7 @@ impl Actor<Message> for Fs {
                     work.fs_ok.insert(from);
                 }
                 // Recovery bookkeeping.
+                let mut backed_off = None;
                 if let Some(rec) = work.recovery.as_mut() {
                     if rec.phase == RecoveryPhase::AwaitingReports {
                         rec.reports.insert(from, (have, missing));
@@ -946,16 +1543,18 @@ impl Actor<Message> for Fs {
                     // (higher id) is also recovering — we back off if our
                     // id is lower.
                     if recovering && me < from {
-                        let op = rec.op;
-                        self.recovery_cancelled(ctx, ov, op);
-                        return;
+                        backed_off = Some(rec.op);
                     }
+                }
+                if let Some(op) = backed_off {
+                    self.recovery_cancelled(ctx, ov, op);
+                    return;
                 }
                 self.check_amr(ctx, ov);
             }
 
             Message::ConvergeKlsReply { ov, verified } => {
-                if let Some(work) = self.storemeta.get_mut(&ov) {
+                if let Some(work) = self.store.work_mut(ov) {
                     if verified {
                         work.kls_ok.insert(from);
                     }
@@ -965,9 +1564,9 @@ impl Actor<Message> for Fs {
 
             Message::DecideLocsReply { ov, dc, locations } => {
                 // Reply to our FsDecideLocs probe.
-                if let Some(entry) = self.storefrag.get_mut(&ov) {
+                if let Some(entry) = self.store.entry_mut(ov) {
                     if !entry.meta.has_dc(dc) {
-                        entry.meta.add_dc_locations(dc, locations);
+                        Arc::make_mut(&mut entry.meta).add_dc_locations(dc, locations);
                         self.note_progress(ctx, ov);
                     }
                 }
@@ -978,7 +1577,7 @@ impl Actor<Message> for Fs {
                 // is corrupt — drop it, answer ⊥, and let convergence
                 // regenerate it (§3.1).
                 let mut data = None;
-                if let Some(entry) = self.storefrag.get(&ov) {
+                if let Some(entry) = self.store.entry(ov) {
                     if let Some(frag) = entry.fragments.get(&fragment) {
                         let ok = entry
                             .checksums
@@ -991,13 +1590,13 @@ impl Actor<Message> for Fs {
                 }
                 if data.is_none()
                     && self
-                        .storefrag
-                        .get(&ov)
+                        .store
+                        .entry(ov)
                         .is_some_and(|e| e.fragments.contains_key(&fragment))
                 {
                     // Present but corrupt.
                     let now = ctx.now();
-                    let entry = self.storefrag.get_mut(&ov).expect("present");
+                    let entry = self.store.entry_mut(ov).expect("present");
                     entry.fragments.remove(&fragment);
                     entry.checksums.remove(&fragment);
                     self.corruption_detected += 1;
@@ -1016,7 +1615,7 @@ impl Actor<Message> for Fs {
             }
 
             Message::RetrieveFragReply { op, ov, data, .. } => {
-                let Some(work) = self.storemeta.get_mut(&ov) else {
+                let Some(work) = self.store.work_mut(ov) else {
                     return;
                 };
                 let Some(rec) = work.recovery.as_mut() else {
@@ -1047,7 +1646,7 @@ impl Actor<Message> for Fs {
             }
             TAG_RECOVERY_WAIT => self.recovery_wait_elapsed(ctx, op),
             TAG_RECOVERY_TIMEOUT => {
-                if let Some((ov, _)) = self.find_recovery(op) {
+                if let Some(ov) = self.store.find_recovery(op) {
                     self.abort_recovery(ctx, ov);
                     self.ensure_round(ctx);
                 }
@@ -1073,7 +1672,7 @@ impl Actor<Message> for Fs {
 impl Fs {
     /// Cancels the in-flight recovery identified by `op` for `ov`.
     fn recovery_cancelled(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion, op: OpId) {
-        if let Some(work) = self.storemeta.get_mut(&ov) {
+        if let Some(work) = self.store.work_mut(ov) {
             if let Some(rec) = work.recovery.take() {
                 debug_assert_eq!(rec.op, op);
                 self.cancel_recovery_timers(ctx, &rec);
@@ -1108,7 +1707,7 @@ mod tests {
         ObjectVersion::new(Key::from_u64(9), Timestamp::new(SimTime::from_micros(5), 0))
     }
 
-    fn full_meta(value_len: usize) -> Metadata {
+    fn full_meta(value_len: usize) -> Arc<Metadata> {
         let mut meta = Metadata::new(tiny_policy(), DataCenterId::new(0), value_len);
         meta.add_dc_locations(
             DataCenterId::new(0),
@@ -1136,7 +1735,7 @@ mod tests {
                 },
             ],
         );
-        meta
+        Arc::new(meta)
     }
 
     /// A driver that injects a fixed script of messages at start and
@@ -1263,6 +1862,7 @@ mod tests {
                 },
             ],
         );
+        let partial = Arc::new(partial);
         let f = frags(100);
         let fs_node = NodeId::new(1);
         let (mut sim, fs0, _, _) = tiny_world(

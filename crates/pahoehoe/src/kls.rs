@@ -28,6 +28,7 @@ use simnet::{Actor, Context, NodeId};
 use crate::messages::Message;
 use crate::metadata::{Location, Metadata};
 use crate::policy::Policy;
+use crate::protocol::ProtocolMode;
 use crate::topology::{DataCenterId, Topology};
 use crate::types::{Key, ObjectVersion, Timestamp};
 
@@ -35,16 +36,26 @@ use crate::types::{Key, ObjectVersion, Timestamp};
 pub struct Kls {
     topo: Arc<Topology>,
     my_dc: DataCenterId,
+    mode: ProtocolMode,
     storets: BTreeMap<Key, BTreeSet<Timestamp>>,
-    storemeta: BTreeMap<ObjectVersion, Metadata>,
+    storemeta: BTreeMap<ObjectVersion, Arc<Metadata>>,
 }
 
 impl Kls {
-    /// Creates the KLS for data center `my_dc`.
+    /// Creates the KLS for data center `my_dc`, adopting the process-wide
+    /// [`ProtocolMode::current`].
     pub fn new(topo: Arc<Topology>, my_dc: DataCenterId) -> Self {
+        Kls::with_mode(topo, my_dc, ProtocolMode::current())
+    }
+
+    /// Creates the KLS with an explicit [`ProtocolMode`] (differential
+    /// tests pin modes per cluster instead of racing on the process-wide
+    /// switches).
+    pub fn with_mode(topo: Arc<Topology>, my_dc: DataCenterId, mode: ProtocolMode) -> Self {
         Kls {
             topo,
             my_dc,
+            mode,
             storets: BTreeMap::new(),
             storemeta: BTreeMap::new(),
         }
@@ -106,12 +117,17 @@ impl Kls {
 
     /// Merges `meta` into the metadata store and records the version in
     /// the timestamp store. Returns whether anything new was learned.
-    fn absorb(&mut self, ov: ObjectVersion, meta: &Metadata) -> bool {
+    /// Adopting a first sighting is a refcount bump (or, in reference
+    /// mode, the seed's deep copy); merging copies-on-write only when the
+    /// probe actually teaches this KLS something.
+    // lint:hot
+    fn absorb(&mut self, ov: ObjectVersion, meta: &Arc<Metadata>) -> bool {
         self.storets.entry(ov.key).or_default().insert(ov.ts);
         match self.storemeta.get_mut(&ov) {
-            Some(existing) => existing.merge(meta),
+            Some(existing) => Metadata::merge_shared(existing, meta),
             None => {
-                self.storemeta.insert(ov, meta.clone());
+                let adopted = self.mode.share(meta);
+                self.storemeta.insert(ov, adopted);
                 true
             }
         }
@@ -121,13 +137,13 @@ impl Kls {
 
     /// The stored metadata for `ov`, if any.
     pub fn meta(&self, ov: ObjectVersion) -> Option<&Metadata> {
-        self.storemeta.get(&ov)
+        self.storemeta.get(&ov).map(Arc::as_ref)
     }
 
     /// Whether this KLS stores *complete* metadata for `ov` (the per-KLS
     /// half of the AMR condition).
     pub fn has_complete_meta(&self, ov: ObjectVersion) -> bool {
-        self.storemeta.get(&ov).is_some_and(Metadata::is_complete)
+        self.storemeta.get(&ov).is_some_and(|m| m.is_complete())
     }
 
     /// Known timestamps for `key`, oldest first.
@@ -184,8 +200,8 @@ impl Actor<Message> for Kls {
                     }
                     _ => Self::which_locs(&self.topo, self.my_dc, ov, meta.policy()),
                 };
-                let mut fresh = meta.clone();
-                fresh.add_dc_locations(self.my_dc, locations.clone());
+                let mut fresh = self.mode.share(&meta);
+                Arc::make_mut(&mut fresh).add_dc_locations(self.my_dc, locations.clone());
                 let newly_decided = !already_known && self.absorb(ov, &fresh);
                 ctx.send(
                     from,
@@ -198,14 +214,14 @@ impl Actor<Message> for Kls {
                 // Indicate a *fresh* decision to the sibling FSs so they
                 // learn the locations without probing themselves.
                 if newly_decided {
-                    let meta = self.storemeta[&ov].clone();
+                    let meta = Arc::clone(&self.storemeta[&ov]);
                     for fs in meta.sibling_fss() {
                         if fs != from {
                             ctx.send(
                                 fs,
                                 Message::LocsIndication {
                                     ov,
-                                    meta: meta.clone(),
+                                    meta: self.mode.share(&meta),
                                 },
                             );
                         }
@@ -225,6 +241,17 @@ impl Actor<Message> for Kls {
                 ctx.send(from, Message::ConvergeKlsReply { ov, verified });
             }
 
+            // A coalesced round's probes: identical to the singular form,
+            // entry by entry, replying per entry (replies are not part of
+            // the round and are never batched).
+            Message::ConvergeKlsBatch { entries } => {
+                for (ov, meta) in entries {
+                    self.absorb(ov, &meta);
+                    let verified = self.has_complete_meta(ov);
+                    ctx.send(from, Message::ConvergeKlsReply { ov, verified });
+                }
+            }
+
             Message::RetrieveTs {
                 op,
                 key,
@@ -239,12 +266,12 @@ impl Actor<Message> for Kls {
                     .filter(|ts| older_than.is_none_or(|cur| *ts < cur))
                     .collect();
                 let more = page.len() > usize::from(limit);
-                let versions: Vec<(Timestamp, Metadata)> = page
+                let versions: Vec<(Timestamp, Arc<Metadata>)> = page
                     .into_iter()
                     .take(usize::from(limit))
                     .filter_map(|ts| {
                         let ov = ObjectVersion::new(key, ts);
-                        self.storemeta.get(&ov).map(|m| (ts, m.clone()))
+                        self.storemeta.get(&ov).map(|m| (ts, self.mode.share(m)))
                     })
                     .collect();
                 ctx.send(
@@ -381,7 +408,7 @@ mod tests {
                 DataCenterId::new(0),
                 Kls::which_locs(&t, DataCenterId::new(0), v, &p),
             );
-            seed_kls.absorb(v, &meta);
+            seed_kls.absorb(v, &Arc::new(meta));
         }
 
         let mut sim = Simulation::new(1);
@@ -454,15 +481,17 @@ mod tests {
             DataCenterId::new(0),
             Kls::which_locs(&t, DataCenterId::new(0), v, &p),
         );
+        let partial = Arc::new(partial);
         assert!(kls.absorb(v, &partial));
         assert!(!kls.has_complete_meta(v));
         assert_eq!(kls.versions_of(v.key), vec![v.ts]);
 
-        let mut rest = partial.clone();
+        let mut rest = (*partial).clone();
         rest.add_dc_locations(
             DataCenterId::new(1),
             Kls::which_locs(&t, DataCenterId::new(1), v, &p),
         );
+        let rest = Arc::new(rest);
         assert!(kls.absorb(v, &rest));
         assert!(kls.has_complete_meta(v));
         assert!(!kls.absorb(v, &rest), "idempotent");

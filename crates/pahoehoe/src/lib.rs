@@ -50,6 +50,7 @@ pub mod kls;
 pub mod messages;
 pub mod metadata;
 pub mod policy;
+pub mod protocol;
 pub mod proxy;
 pub mod topology;
 pub mod types;
@@ -59,6 +60,10 @@ pub use convergence::ConvergenceOptions;
 pub use messages::Message;
 pub use metadata::{Location, Metadata};
 pub use policy::Policy;
+pub use protocol::{
+    batched_rounds, reference_protocol_mode, set_batched_rounds, set_reference_protocol_mode,
+    ProtocolMode,
+};
 pub use types::{Key, ObjectVersion, Timestamp};
 
 #[cfg(test)]

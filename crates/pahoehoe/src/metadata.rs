@@ -1,6 +1,7 @@
 //! Object-version metadata: policy plus fragment locations.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use erasure::FragmentIndex;
 use simnet::NodeId;
@@ -106,6 +107,29 @@ impl Metadata {
         changed
     }
 
+    /// Whether [`merge`](Self::merge) with `other` would learn anything —
+    /// the same per-DC first-writer-wins test, without mutating. Lets the
+    /// shared-metadata path skip the copy-on-write a no-op
+    /// [`merge_shared`] would otherwise force.
+    pub fn would_learn_from(&self, other: &Metadata) -> bool {
+        other.locs.keys().any(|dc| !self.locs.contains_key(dc))
+            || (self.value_len == 0 && other.value_len != 0)
+    }
+
+    /// Merges `src` into the shared handle `dst`, copying-on-write only
+    /// when something is actually learned. Returns `true` if `dst`
+    /// changed. Equivalent to `dst.merge(src)` on owned metadata; the
+    /// `Arc::ptr_eq` fast path skips even the field comparisons when both
+    /// handles are the same snapshot (the common case once a version
+    /// settles).
+    // lint:hot
+    pub fn merge_shared(dst: &mut Arc<Metadata>, src: &Arc<Metadata>) -> bool {
+        if Arc::ptr_eq(dst, src) || !dst.would_learn_from(src) {
+            return false;
+        }
+        Arc::make_mut(dst).merge(src)
+    }
+
     /// Whether the proxy/FS knows locations for `dc` already (the paper's
     /// `useful_locs` test: locations are useful iff they are the first for
     /// their data center).
@@ -150,10 +174,16 @@ impl Metadata {
 
     /// The fragment indices assigned to fragment server `fs`.
     pub fn fragments_of(&self, fs: NodeId) -> Vec<FragmentIndex> {
+        self.assigned_to(fs).collect()
+    }
+
+    /// Iterates the fragment indices assigned to fragment server `fs`
+    /// without allocating (the hot-path form of
+    /// [`fragments_of`](Self::fragments_of)).
+    pub fn assigned_to(&self, fs: NodeId) -> impl Iterator<Item = FragmentIndex> + '_ {
         self.assignments()
-            .filter(|(_, loc)| loc.fs == fs)
+            .filter(move |(_, loc)| loc.fs == fs)
             .map(|(idx, _)| idx)
-            .collect()
     }
 
     /// The distinct sibling fragment servers, in id order.
@@ -323,6 +353,46 @@ mod tests {
         assert_eq!(m.value_len(), 100 * 1024);
         assert_eq!(m.policy().k, 4);
         assert_eq!(m.home_dc(), dc(0));
+    }
+
+    #[test]
+    fn merge_shared_copies_only_on_learning() {
+        let full = Arc::new(meta_with_both_dcs());
+        let mut partial_owned = Metadata::new(Policy::paper_default(), dc(0), 100 * 1024);
+        partial_owned.add_dc_locations(dc(0), six_locs(10));
+        let mut dst = Arc::new(partial_owned);
+        // A second handle forces `Arc::make_mut` to actually copy.
+        let observer = Arc::clone(&dst);
+        let before = Arc::as_ptr(&dst);
+
+        assert!(dst.would_learn_from(&full));
+        assert!(Metadata::merge_shared(&mut dst, &full), "learns DC1");
+        assert_ne!(Arc::as_ptr(&dst), before, "copy-on-write happened");
+        assert_eq!(*dst, *full);
+        assert!(!observer.is_complete(), "the aliased handle is untouched");
+
+        let settled = Arc::as_ptr(&dst);
+        assert!(
+            !Metadata::merge_shared(&mut dst, &full),
+            "no-op learns nothing"
+        );
+        assert_eq!(Arc::as_ptr(&dst), settled, "no-op never copies");
+
+        let mut alias = Arc::clone(&dst);
+        assert!(
+            !Metadata::merge_shared(&mut alias, &dst),
+            "ptr_eq fast path"
+        );
+    }
+
+    #[test]
+    fn assigned_to_matches_fragments_of() {
+        let m = meta_with_both_dcs();
+        assert_eq!(
+            m.assigned_to(fs(11)).collect::<Vec<_>>(),
+            m.fragments_of(fs(11))
+        );
+        assert_eq!(m.assigned_to(fs(99)).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Protocol hot-path mode switches and dense helpers.
+//!
+//! PRs 2 and 3 gave the codec and the engine process-wide *reference
+//! switches* (`erasure::Codec::set_reference_mode`,
+//! `simnet::set_reference_queue_mode`) so the recorded benchmarks can
+//! attribute speedups honestly, one layer at a time. This module does the
+//! same for the protocol layer itself:
+//!
+//! * **Shared metadata** — with `share_metadata` on (the default), actors
+//!   pass [`Metadata`] around as refcounted [`Arc`]s: a send is a refcount
+//!   bump. The reference mode deep-copies the metadata on every share,
+//!   reproducing the seed's clone-per-send cost. Behavior is identical in
+//!   both modes; `wire_size()` models serialized bytes, not in-memory
+//!   layout, so the accounting never changes.
+//! * **Batched rounds** — with `batch_rounds` on, a fragment server
+//!   coalesces the convergence traffic one `run_round` emits to the same
+//!   destination into a single multi-entry message (one shared
+//!   `HEADER_BYTES`, per-entry bodies). The paper's rounds are
+//!   *unsynchronized* — per-node and uncoordinated (§4.1) — so nothing in
+//!   the protocol depends on entries arriving as separate messages.
+//!   Batching is implemented as coalesced *accounting*: each entry still
+//!   traverses the simulated channel individually, in the exact order the
+//!   unbatched protocol sends it, drawing the same RNG — so event order,
+//!   actor state and final AMR outcomes are bit-identical with batching on
+//!   or off, and only the message/byte metrics change. Off by default so
+//!   the paper-faithful experiment figures keep their per-message curves.
+//!
+//! Modes are captured per actor at construction (see
+//! [`ClusterConfig::protocol`](crate::cluster::ClusterConfig)); the
+//! process-wide setters here only choose the default for subsequently
+//! built actors, mirroring the codec/engine switches.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use erasure::FragmentIndex;
+
+use crate::metadata::Metadata;
+
+/// Process-wide default for `share_metadata = false`; see
+/// [`set_reference_protocol_mode`].
+static REFERENCE_PROTOCOL_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide default for `batch_rounds = true`; see
+/// [`set_batched_rounds`].
+static BATCH_ROUNDS: AtomicBool = AtomicBool::new(false);
+
+/// Switches every *subsequently constructed* protocol actor to the
+/// pre-optimization metadata handling: a deep [`Metadata`] copy on every
+/// share, exactly the seed's clone-per-send cost. Mirrors
+/// `erasure::Codec::set_reference_mode` / `simnet::set_reference_queue_mode`
+/// and exists solely so the recorded benchmark
+/// (`cargo run -p bench --release --bin baseline`) measures an honest
+/// before/after. Not for production use.
+pub fn set_reference_protocol_mode(enabled: bool) {
+    REFERENCE_PROTOCOL_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`set_reference_protocol_mode`] is on.
+pub fn reference_protocol_mode() -> bool {
+    REFERENCE_PROTOCOL_MODE.load(Ordering::Relaxed)
+}
+
+/// Enables coalesced convergence-round accounting for every
+/// *subsequently constructed* fragment server (see the module docs for
+/// why this cannot change protocol behavior). Off by default.
+pub fn set_batched_rounds(enabled: bool) {
+    BATCH_ROUNDS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`set_batched_rounds`] is on.
+pub fn batched_rounds() -> bool {
+    BATCH_ROUNDS.load(Ordering::Relaxed)
+}
+
+/// The protocol-layer optimization switches an actor runs with, captured
+/// once at construction so parallel tests can pin a mode per cluster
+/// without racing on the process-wide defaults.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProtocolMode {
+    /// Share metadata by refcount (`true`, the default) or deep-copy it on
+    /// every share (the seed's behavior, for reference benchmarks).
+    pub share_metadata: bool,
+    /// Coalesce each convergence round's per-destination traffic into
+    /// multi-entry messages (accounting only; see module docs).
+    pub batch_rounds: bool,
+}
+
+impl ProtocolMode {
+    /// The optimized default: shared metadata, unbatched accounting (the
+    /// paper-faithful per-message figures).
+    pub const fn optimized() -> Self {
+        ProtocolMode {
+            share_metadata: true,
+            batch_rounds: false,
+        }
+    }
+
+    /// The pre-optimization reference: deep-copied metadata, unbatched.
+    pub const fn reference() -> Self {
+        ProtocolMode {
+            share_metadata: false,
+            batch_rounds: false,
+        }
+    }
+
+    /// Shared metadata plus coalesced round accounting.
+    pub const fn batched() -> Self {
+        ProtocolMode {
+            share_metadata: true,
+            batch_rounds: true,
+        }
+    }
+
+    /// The mode selected by the process-wide switches right now (what a
+    /// newly built actor adopts unless told otherwise).
+    pub fn current() -> Self {
+        ProtocolMode {
+            share_metadata: !reference_protocol_mode(),
+            batch_rounds: batched_rounds(),
+        }
+    }
+
+    /// Produces the metadata handle to embed in an outgoing message: a
+    /// refcount bump when sharing, a deep copy in reference mode (the
+    /// seed cloned metadata into every send).
+    // lint:hot
+    pub fn share(&self, meta: &Arc<Metadata>) -> Arc<Metadata> {
+        if self.share_metadata {
+            Arc::clone(meta)
+        } else {
+            Arc::new((**meta).clone())
+        }
+    }
+}
+
+impl Default for ProtocolMode {
+    fn default() -> Self {
+        ProtocolMode::optimized()
+    }
+}
+
+/// A dense set of fragment indices (`n <= 256`), replacing the
+/// `Vec<FragmentIndex>` / `BTreeSet` walks on the protocol hot path:
+/// insert, membership and cardinality are single-word bit operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FragMask {
+    bits: [u64; 4],
+}
+
+impl FragMask {
+    /// The empty set.
+    pub const fn new() -> Self {
+        FragMask { bits: [0; 4] }
+    }
+
+    /// Inserts `idx`; returns `true` if it was not present before.
+    // lint:hot
+    pub fn insert(&mut self, idx: FragmentIndex) -> bool {
+        let (w, b) = (usize::from(idx) / 64, usize::from(idx) % 64);
+        let fresh = self.bits[w] & (1 << b) == 0;
+        self.bits[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `idx`; returns `true` if it was present.
+    pub fn remove(&mut self, idx: FragmentIndex) -> bool {
+        let (w, b) = (usize::from(idx) / 64, usize::from(idx) % 64);
+        let present = self.bits[w] & (1 << b) != 0;
+        self.bits[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether `idx` is in the set.
+    // lint:hot
+    pub fn contains(&self, idx: FragmentIndex) -> bool {
+        let (w, b) = (usize::from(idx) / 64, usize::from(idx) % 64);
+        self.bits[w] & (1 << b) != 0
+    }
+
+    /// Number of indices in the set.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.bits = [0; 4];
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = FragmentIndex> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some((w * 64 + b as usize) as FragmentIndex)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::topology::DataCenterId;
+
+    #[test]
+    fn mode_constructors_and_default() {
+        assert_eq!(ProtocolMode::default(), ProtocolMode::optimized());
+        assert!(ProtocolMode::optimized().share_metadata);
+        assert!(!ProtocolMode::optimized().batch_rounds);
+        assert!(!ProtocolMode::reference().share_metadata);
+        assert!(ProtocolMode::batched().batch_rounds);
+    }
+
+    #[test]
+    fn share_bumps_or_copies() {
+        let meta = Arc::new(Metadata::new(
+            Policy::paper_default(),
+            DataCenterId::new(0),
+            100,
+        ));
+        let shared = ProtocolMode::optimized().share(&meta);
+        assert!(Arc::ptr_eq(&meta, &shared), "optimized mode shares");
+        let copied = ProtocolMode::reference().share(&meta);
+        assert!(!Arc::ptr_eq(&meta, &copied), "reference mode deep-copies");
+        assert_eq!(*meta, *copied, "the copy is equal");
+    }
+
+    #[test]
+    fn frag_mask_set_operations() {
+        let mut m = FragMask::new();
+        assert!(m.is_empty());
+        assert!(m.insert(0));
+        assert!(m.insert(63));
+        assert!(m.insert(64));
+        assert!(m.insert(255));
+        assert!(!m.insert(63), "double insert reports not-fresh");
+        assert_eq!(m.count(), 4);
+        assert!(m.contains(64));
+        assert!(!m.contains(1));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 63, 64, 255]);
+        assert!(m.remove(63));
+        assert!(!m.remove(63));
+        assert_eq!(m.count(), 3);
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

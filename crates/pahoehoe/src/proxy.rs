@@ -26,6 +26,7 @@ use simnet::{Actor, Context, NodeId, SimDuration, TimerId};
 
 use crate::messages::{Message, OpId};
 use crate::metadata::Metadata;
+use crate::protocol::{FragMask, ProtocolMode};
 use crate::topology::{DataCenterId, Topology};
 use crate::types::{Key, ObjectVersion, Timestamp};
 
@@ -78,14 +79,20 @@ impl Default for ProxyConfig {
 struct PutOp {
     client: NodeId,
     client_op: OpId,
-    meta: Metadata,
+    meta: Arc<Metadata>,
     fragments: Vec<Fragment>,
     /// KLSs that acknowledged *complete* metadata.
     kls_complete: BTreeSet<NodeId>,
-    /// `(fs, fragment)` pairs durably acknowledged.
+    /// `(fs, fragment)` pairs durably acknowledged (maintained in
+    /// reference mode only; the optimized path tracks the same facts in
+    /// `acked`).
     frag_acks: BTreeSet<(NodeId, FragmentIndex)>,
-    /// Distinct fragment indices durably stored (threshold check).
+    /// Distinct fragment indices durably stored (reference mode only).
     distinct_frags: BTreeSet<FragmentIndex>,
+    /// Distinct fragment indices durably stored, as a 256-bit mask
+    /// (fragments are only ever stored by — and acknowledged from — the
+    /// FS they are assigned to, so the index alone identifies the ack).
+    acked: FragMask,
     replied: bool,
     timer: TimerId,
 }
@@ -125,7 +132,7 @@ struct GetOp {
     /// Versions already attempted (pages may re-deliver them).
     tried: BTreeSet<Timestamp>,
     /// Merged per-version metadata from KLS answers.
-    kls_meta: BTreeMap<Timestamp, Metadata>,
+    kls_meta: BTreeMap<Timestamp, Arc<Metadata>>,
     /// Versions some KLS reported with *incomplete* metadata (non-AMR
     /// evidence).
     kls_incomplete: BTreeSet<Timestamp>,
@@ -137,7 +144,7 @@ struct GetOp {
 
 struct GetAttempt {
     ts: Timestamp,
-    meta: Metadata,
+    meta: Arc<Metadata>,
     fragments: BTreeMap<FragmentIndex, Fragment>,
     /// Whether any FS answered ⊥ for this version.
     saw_bottom: bool,
@@ -157,6 +164,12 @@ pub struct Proxy {
     /// Unique proxy identifier, the timestamp tie-breaker.
     uid: u32,
     cfg: ProxyConfig,
+    /// Cost model for the protocol hot path (§8.6), captured at
+    /// construction so concurrent simulations cannot race on the
+    /// process-global switch.
+    mode: ProtocolMode,
+    /// Cached `topo.all_klss().count()` for the full-ack check.
+    total_klss: usize,
     puts: BTreeMap<ObjectVersion, PutOp>,
     /// Timer-tag → object version for put timeouts.
     put_seq: BTreeMap<u64, ObjectVersion>,
@@ -178,13 +191,28 @@ pub struct Proxy {
 }
 
 impl Proxy {
-    /// Creates a proxy in `my_dc` with unique id `uid`.
+    /// Creates a proxy in `my_dc` with unique id `uid`, using the
+    /// process-global [`ProtocolMode`].
     pub fn new(topo: Arc<Topology>, my_dc: DataCenterId, uid: u32, cfg: ProxyConfig) -> Self {
+        Self::with_mode(topo, my_dc, uid, cfg, ProtocolMode::current())
+    }
+
+    /// Creates a proxy with an explicit [`ProtocolMode`].
+    pub fn with_mode(
+        topo: Arc<Topology>,
+        my_dc: DataCenterId,
+        uid: u32,
+        cfg: ProxyConfig,
+        mode: ProtocolMode,
+    ) -> Self {
+        let total_klss = topo.all_klss().count();
         Proxy {
             topo,
             my_dc,
             uid,
             cfg,
+            mode,
+            total_klss,
             puts: BTreeMap::new(),
             put_seq: BTreeMap::new(),
             next_seq: 0,
@@ -222,8 +250,18 @@ impl Proxy {
         policy.validate();
         let ts = Timestamp::new(ctx.now().saturating_add(self.cfg.clock_skew), self.uid);
         let ov = ObjectVersion::new(key, ts);
-        let fragments = self.codec(policy.k, policy.n).encode(&value);
-        let meta = Metadata::new(policy, self.my_dc, value.len());
+        let mut fragments = Vec::new();
+        if self.mode.share_metadata {
+            // Zero-copy encode: data fragments are windows of the client's
+            // value; only parity is freshly written.
+            self.codec(policy.k, policy.n)
+                .encode_value(&value, &mut fragments);
+        } else {
+            // Reference cost model: the seed's allocating stripe encode.
+            self.codec(policy.k, policy.n)
+                .encode_into(&value, &mut fragments);
+        }
+        let meta = Arc::new(Metadata::new(policy, self.my_dc, value.len()));
 
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -239,6 +277,7 @@ impl Proxy {
                 kls_complete: BTreeSet::new(),
                 frag_acks: BTreeSet::new(),
                 distinct_frags: BTreeSet::new(),
+                acked: FragMask::new(),
                 replied: false,
                 timer,
             },
@@ -268,10 +307,12 @@ impl Proxy {
             return;
         };
         // `useful_locs`: only the first decision per data center counts.
-        if !op.meta.add_dc_locations(dc, locations) {
+        // In optimized mode the copy-on-write clone fires at most once per
+        // decision wave; every send below is then reference-counted.
+        if !Arc::make_mut(&mut op.meta).add_dc_locations(dc, locations) {
             return;
         }
-        let meta = op.meta.clone();
+        let meta = Arc::clone(&op.meta);
         // Forward the (possibly still partial) metadata to every KLS
         // immediately — the paper's first latency optimization — and to
         // the FSs of previously decided data centers, whose stored
@@ -286,7 +327,7 @@ impl Proxy {
                 kls,
                 Message::StoreMetadata {
                     ov,
-                    meta: meta.clone(),
+                    meta: self.mode.share(&meta),
                 },
             );
         }
@@ -300,7 +341,7 @@ impl Proxy {
                 fs,
                 Message::StoreMetadata {
                     ov,
-                    meta: meta.clone(),
+                    meta: self.mode.share(&meta),
                 },
             );
         }
@@ -315,7 +356,7 @@ impl Proxy {
                 fs,
                 Message::StoreFragment {
                     ov,
-                    meta: meta.clone(),
+                    meta: self.mode.share(&meta),
                     fragment,
                 },
             );
@@ -327,9 +368,12 @@ impl Proxy {
             return;
         };
         // Early success: enough distinct fragments durably stored.
-        if !op.replied
-            && op.distinct_frags.len() >= usize::from(op.meta.policy().put_success_threshold)
-        {
+        let distinct = if self.mode.share_metadata {
+            op.acked.count()
+        } else {
+            op.distinct_frags.len()
+        };
+        if !op.replied && distinct >= usize::from(op.meta.policy().put_success_threshold) {
             op.replied = true;
             let (client, client_op) = (op.client, op.client_op);
             ctx.send(
@@ -348,22 +392,32 @@ impl Proxy {
         if !op.meta.is_complete() {
             return;
         }
-        let all_kls: BTreeSet<NodeId> = self.topo.all_klss().collect();
-        let all_assigned: BTreeSet<(NodeId, FragmentIndex)> = op
-            .meta
-            .assignments()
-            .map(|(idx, loc)| (loc.fs, idx))
-            .collect();
-        if op.kls_complete.is_superset(&all_kls) && all_assigned.is_subset(&op.frag_acks) {
+        let fully_acked = if self.mode.share_metadata {
+            // Each assigned fragment index is stored by exactly one FS, so
+            // the mask count reaching the assignment count is the same
+            // condition as the reference mode's pairwise subset check.
+            op.kls_complete.len() == self.total_klss && op.acked.count() == op.meta.location_count()
+        } else {
+            // Reference cost model: rebuild both sets on every
+            // acknowledgment, as the seed protocol core did.
+            let all_kls: BTreeSet<NodeId> = self.topo.all_klss().collect();
+            let all_assigned: BTreeSet<(NodeId, FragmentIndex)> = op
+                .meta
+                .assignments()
+                .map(|(idx, loc)| (loc.fs, idx))
+                .collect();
+            op.kls_complete.is_superset(&all_kls) && all_assigned.is_subset(&op.frag_acks)
+        };
+        if fully_acked {
             self.puts_fully_acked += 1;
-            let meta = op.meta.clone();
+            let meta = Arc::clone(&op.meta);
             if self.cfg.put_amr_indication {
                 for fs in meta.sibling_fss() {
                     ctx.send(
                         fs,
                         Message::AmrIndication {
                             ov,
-                            meta: meta.clone(),
+                            meta: self.mode.share(&meta),
                         },
                     );
                 }
@@ -443,7 +497,7 @@ impl Proxy {
         ctx: &mut Context<'_, Message>,
         op: OpId,
         from: NodeId,
-        versions: Vec<(Timestamp, Metadata)>,
+        versions: Vec<(Timestamp, Arc<Metadata>)>,
         more: bool,
     ) {
         let Some(get) = self.gets.get_mut(&op) else {
@@ -467,7 +521,7 @@ impl Proxy {
             }
             match get.kls_meta.get_mut(&ts) {
                 Some(m) => {
-                    m.merge(&meta);
+                    Metadata::merge_shared(m, &meta);
                 }
                 None => {
                     get.kls_meta.insert(ts, meta);
@@ -507,7 +561,7 @@ impl Proxy {
             Some(ts) => {
                 get.untried.remove(&ts);
                 get.tried.insert(ts);
-                let meta = get.kls_meta[&ts].clone();
+                let meta = Arc::clone(&get.kls_meta[&ts]);
                 let ov = ObjectVersion::new(get.key, ts);
                 let requests: Vec<(NodeId, FragmentIndex)> =
                     meta.assignments().map(|(idx, loc)| (loc.fs, idx)).collect();
@@ -708,8 +762,15 @@ impl Actor<Message> for Proxy {
             }
             Message::StoreFragmentReply { ov, fragment } => {
                 if let Some(op) = self.puts.get_mut(&ov) {
-                    op.frag_acks.insert((from, fragment));
-                    op.distinct_frags.insert(fragment);
+                    if self.mode.share_metadata {
+                        // The reply necessarily comes from the FS the
+                        // fragment is assigned to (stores are only ever
+                        // sent there), so the index alone is the ack.
+                        op.acked.insert(fragment);
+                    } else {
+                        op.frag_acks.insert((from, fragment));
+                        op.distinct_frags.insert(fragment);
+                    }
                     self.on_put_progress(ctx, ov);
                 }
             }

@@ -57,12 +57,34 @@ impl DropStats {
 ///
 /// Backed by dense arrays laid out by a payload type's kind registry;
 /// recording is O(1) array indexing, reporting sorts labels on demand.
-#[derive(Debug, Clone, Default)]
+///
+/// Physical messages vs. logical entries: a coalesced batch (see
+/// [`record_coalesced`](Self::record_coalesced)) counts as **one** sent
+/// message carrying several logical protocol entries. `entries` tracks the
+/// latter so batched and unbatched runs can be compared on equal logical
+/// work while `count`/`bytes` show the physical (header-amortized) cost.
+#[derive(Clone, Default)]
 pub struct Metrics {
     registry: &'static [&'static str],
     sends: Vec<KindStats>,
     drops: Vec<DropStats>,
     duplicated: u64,
+    entries: Vec<u64>,
+}
+
+impl std::fmt::Debug for Metrics {
+    /// Matches the pre-`entries` derived output field for field: replay
+    /// digests are `format!("{:?}")` of this struct, and adding the
+    /// logical-entry counters must not disturb digests of runs that never
+    /// coalesce (where `entries` mirrors `count` exactly).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("registry", &self.registry)
+            .field("sends", &self.sends)
+            .field("drops", &self.drops)
+            .field("duplicated", &self.duplicated)
+            .finish()
+    }
 }
 
 impl Metrics {
@@ -80,6 +102,7 @@ impl Metrics {
             sends: vec![KindStats::default(); registry.len()],
             drops: vec![DropStats::default(); registry.len()],
             duplicated: 0,
+            entries: vec![0; registry.len()],
         }
     }
 
@@ -104,6 +127,21 @@ impl Metrics {
         let e = &mut self.sends[kind_id];
         e.count += 1;
         e.bytes += bytes as u64;
+        self.entries[kind_id] += 1;
+    }
+
+    /// Records one physical message of kind `kind_id` carrying `entries`
+    /// logical protocol entries in `bytes` wire bytes — the accounting for
+    /// a coalesced batch (one shared header, several entry bodies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind_id` is out of range for the registry.
+    pub fn record_coalesced(&mut self, kind_id: usize, bytes: usize, entries: u64) {
+        let e = &mut self.sends[kind_id];
+        e.count += 1;
+        e.bytes += bytes as u64;
+        self.entries[kind_id] += entries;
     }
 
     /// Records that a sent message of kind `kind_id` was dropped in
@@ -146,6 +184,18 @@ impl Metrics {
         self.index_of(kind)
             .map(|i| self.drops[i])
             .unwrap_or_default()
+    }
+
+    /// Logical protocol entries sent for a single kind (zero if never seen
+    /// or unregistered). Equals `kind(kind).count` unless batches were
+    /// coalesced for this kind.
+    pub fn entries_for(&self, kind: &str) -> u64 {
+        self.index_of(kind).map(|i| self.entries[i]).unwrap_or(0)
+    }
+
+    /// Total logical protocol entries sent across all kinds.
+    pub fn total_entries(&self) -> u64 {
+        self.entries.iter().sum()
     }
 
     /// Iterates over `(kind, stats)` of every kind with at least one send,
@@ -208,6 +258,7 @@ impl Metrics {
             self.registry = other.registry;
             self.sends = vec![KindStats::default(); other.registry.len()];
             self.drops = vec![DropStats::default(); other.registry.len()];
+            self.entries = vec![0; other.registry.len()];
         }
         assert_eq!(
             self.registry, other.registry,
@@ -224,6 +275,9 @@ impl Metrics {
             a.random_bytes += b.random_bytes;
         }
         self.duplicated += other.duplicated;
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a += b;
+        }
     }
 }
 

@@ -25,10 +25,14 @@ cargo run -p check --release --bin explore -- --smoke --workers 2 --digest-out t
 cmp target/digest-seq.txt target/digest-par.txt
 echo "    parallel sweep digest is byte-identical to sequential"
 
+echo "==> invariant explorer (smoke sweep, batched protocol rounds)"
+cargo run -p check --release --bin explore -- --smoke --protocol batched
+
 echo "==> bench baseline (smoke)"
 cargo run -p bench --release --bin baseline -- --smoke
 python3 -m json.tool BENCH_codec.json > /dev/null
 python3 -m json.tool BENCH_engine.json > /dev/null
 python3 -m json.tool BENCH_convergence.json > /dev/null
+python3 -m json.tool BENCH_protocol.json > /dev/null
 
 echo "CI green."
