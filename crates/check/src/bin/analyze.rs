@@ -1,24 +1,24 @@
-//! Determinism lint driver: `cargo run -p check --bin lint`.
+//! Semantic analyzer driver: `cargo run -p check --release --bin analyze`.
 //!
-//! Scans every `crates/*/src/**/*.rs` under the workspace root (default:
-//! the current directory; pass a path to override) for constructs that
-//! break seeded-simulation determinism. `--rules` lists the rule set;
-//! `--format json` emits one JSON array of findings for CI consumption.
+//! Runs the five workspace-wide semantic rules of [`check::analysis`]
+//! (exhaustive-dispatch, mode-parity, panic-path, unsafe-confinement,
+//! registry-sync) over `crates/*/{src,tests}` under the workspace root
+//! (default: the current directory; pass a path to override). `--rules`
+//! lists the rule set; `--format json` emits one JSON array of findings.
 //!
 //! # Exit codes
 //!
-//! Stable, so CI can gate on *which* rules fired, not just that some did:
+//! Stable, so CI can gate on *which* rules fired:
 //!
 //! * `0` — clean
 //! * `2` — scan error (unreadable root)
 //! * `100 + bitmask` — findings; bit *i* set when rule *i* (in `--rules`
-//!   order) fired. E.g. `101` = only `hash-collections`, `132` = only
-//!   `hot-path-alloc` (bit 5).
+//!   order) fired. E.g. `104` = only `panic-path` (bit 2).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use check::lint;
+use check::analysis;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -27,8 +27,8 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--rules" => {
-                for (i, (name, what)) in lint::RULES.iter().enumerate() {
-                    println!("{i} {name:<18} {what}");
+                for (i, (name, what)) in analysis::RULES.iter().enumerate() {
+                    println!("{i} {name:<20} {what}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -36,22 +36,22 @@ fn main() -> ExitCode {
                 Some("json") => json = true,
                 Some("text") => json = false,
                 other => {
-                    eprintln!("lint: unknown format {other:?} (want json|text)");
+                    eprintln!("analyze: unknown format {other:?} (want json|text)");
                     return ExitCode::from(2);
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: lint [WORKSPACE_ROOT] [--rules] [--format json|text]");
+                eprintln!("usage: analyze [WORKSPACE_ROOT] [--rules] [--format json|text]");
                 return ExitCode::SUCCESS;
             }
             path => root = PathBuf::from(path),
         }
     }
 
-    let findings = match lint::lint_workspace(&root) {
+    let findings = match analysis::analyze_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("lint: cannot scan {}: {e}", root.display());
+            eprintln!("analyze: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
@@ -59,19 +59,19 @@ fn main() -> ExitCode {
         let objects: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
         println!("[{}]", objects.join(","));
     } else if findings.is_empty() {
-        println!("lint: clean ({} rules)", lint::RULES.len());
+        println!("analyze: clean ({} rules)", analysis::RULES.len());
     } else {
         for f in &findings {
             println!("{f}");
         }
-        println!("lint: {} finding(s)", findings.len());
+        println!("analyze: {} finding(s)", findings.len());
     }
     if findings.is_empty() {
         return ExitCode::SUCCESS;
     }
     let mut mask = 0u8;
     for f in &findings {
-        if let Some(bit) = lint::rule_bit(f.rule) {
+        if let Some(bit) = analysis::rule_bit(f.rule) {
             mask |= 1 << bit;
         }
     }

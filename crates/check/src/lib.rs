@@ -3,7 +3,7 @@
 
 //! Correctness tooling for the Pahoehoe reproduction.
 //!
-//! Two pillars, corresponding to the two binaries this crate ships:
+//! Four pillars, corresponding to the four binaries this crate ships:
 //!
 //! 1. **Invariant-checking model checker** (`cargo run -p check --bin
 //!    explore`). The [`invariants`] module defines the protocol properties
@@ -22,7 +22,25 @@
 //!    collections in actor state, wall clocks, ambient RNGs, thread
 //!    spawning and floating-point map keys. `// lint:allow(<rule>)`
 //!    suppresses a finding where the hazard is deliberate and safe.
+//!
+//! 3. **Semantic analyzer** (`cargo run -p check --bin analyze`). The
+//!    [`analysis`] module layers five workspace-wide rules over the
+//!    shared [`rustlite`] front-end (a dependency-free lexer → fn/match
+//!    model → intra-file call graph): dispatch exhaustiveness across
+//!    actors, mode-switch test parity, panic-path justification,
+//!    unsafe confinement and kind-registry coherence.
+//!
+//! 4. **Mutation-testing harness** (`cargo run -p check --bin mutate`).
+//!    The [`mutate`] module applies protocol-targeted source mutations
+//!    (quorum off-by-one, comparison flips, ack drops, `FragMask`
+//!    bit-flips, timer-generation skips) in a scratch build tree, runs
+//!    the explorer smoke sweep against each mutant, and measures the
+//!    invariant **kill-rate** — evidence the invariants would catch a
+//!    real protocol bug, not just a claim that they exist.
 
+pub mod analysis;
 pub mod explorer;
 pub mod invariants;
 pub mod lint;
+pub mod mutate;
+pub mod rustlite;

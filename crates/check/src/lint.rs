@@ -24,18 +24,23 @@
 //! the `_into` codec APIs exist to avoid.
 //!
 //! The scanner lexes each file just enough to be trustworthy — comments,
-//! (raw) string literals and char literals are stripped before matching,
-//! so prose and test fixtures never trigger findings — and it walks
-//! `crates/*/src` only, skipping `vendor/` and generated code. A finding
-//! on a line where the hazard is deliberate and safe is suppressed with
-//! `// lint:allow(<rule>)` on the same or the preceding line.
+//! (raw) string literals and char literals are stripped before matching
+//! (via the shared [`rustlite`](crate::rustlite) front-end), so prose and
+//! test fixtures never trigger findings — and it walks `crates/*/src`
+//! only, skipping `vendor/` and generated code. A finding on a line where
+//! the hazard is deliberate and safe is suppressed with
+//! `// lint:allow(<rule>)` on the same line, the preceding line, or —
+//! when the finding sits on an item behind attributes — the line above
+//! the attribute block.
 //!
-//! No external dependencies: the lexer is ~100 lines of hand-rolled state
-//! machine, which is all this job needs.
+//! Deeper, semantic workspace rules (dispatch exhaustiveness, mode
+//! parity, panic paths, unsafe confinement, registry sync) live in
+//! [`analysis`](crate::analysis); this module stays the cheap token pass.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use crate::rustlite::{self, allowed, allows_by_line, ident, punct, Spanned, Tok};
 
 /// The rule set: `(name, what it flags and why)`.
 pub const RULES: &[(&str, &str)] = &[
@@ -69,6 +74,12 @@ pub const RULES: &[(&str, &str)] = &[
     ),
 ];
 
+/// Index of `rule` in [`RULES`] — the bit it occupies in the CLI's
+/// per-rule exit code (see `bin/lint.rs`).
+pub fn rule_bit(rule: &str) -> Option<usize> {
+    RULES.iter().position(|(name, _)| *name == rule)
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -98,222 +109,34 @@ impl fmt::Display for Finding {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Lexing
-// ---------------------------------------------------------------------------
-
-/// Replaces comments, string literals and char literals with spaces
-/// (newlines preserved), so the token scan only ever sees code. Handles
-/// nested block comments, raw strings with arbitrary `#` counts, byte
-/// strings, escapes, and the char-literal/lifetime ambiguity.
-fn strip_noncode(src: &str) -> String {
-    let chars: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    let n = chars.len();
-
-    // Appends `c` as-is if it's a newline (line structure must survive),
-    // else a space.
-    fn blank(out: &mut String, c: char) {
-        out.push(if c == '\n' { '\n' } else { ' ' });
+impl Finding {
+    /// This finding as one JSON object (hand-rolled; the workspace builds
+    /// offline with no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":"{}","line":{},"col":{},"rule":"{}","excerpt":"{}"}}"#,
+            json_escape(&self.file.display().to_string()),
+            self.line,
+            self.col,
+            self.rule,
+            json_escape(&self.excerpt)
+        )
     }
-
-    while i < n {
-        let c = chars[i];
-        // Line comment.
-        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-            while i < n && chars[i] != '\n' {
-                blank(&mut out, chars[i]);
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (Rust block comments nest).
-        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-            let mut depth = 0usize;
-            while i < n {
-                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
-                    depth += 1;
-                    blank(&mut out, chars[i]);
-                    blank(&mut out, chars[i + 1]);
-                    i += 2;
-                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
-                    depth -= 1;
-                    blank(&mut out, chars[i]);
-                    blank(&mut out, chars[i + 1]);
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    blank(&mut out, chars[i]);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
-        let raw_start = if c == 'r' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '#') {
-            Some(i + 1)
-        } else if c == 'b'
-            && i + 2 < n
-            && chars[i + 1] == 'r'
-            && (chars[i + 2] == '"' || chars[i + 2] == '#')
-        {
-            Some(i + 2)
-        } else {
-            None
-        };
-        if let Some(mut j) = raw_start {
-            let mut hashes = 0usize;
-            while j < n && chars[j] == '#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < n && chars[j] == '"' {
-                // Blank from `i` through the closing quote+hashes.
-                j += 1; // past the opening quote
-                loop {
-                    if j >= n {
-                        break;
-                    }
-                    if chars[j] == '"'
-                        && chars[j + 1..]
-                            .iter()
-                            .take(hashes)
-                            .filter(|&&h| h == '#')
-                            .count()
-                            == hashes
-                    {
-                        j += 1 + hashes;
-                        break;
-                    }
-                    j += 1;
-                }
-                for &ch in &chars[i..j.min(n)] {
-                    blank(&mut out, ch);
-                }
-                i = j;
-                continue;
-            }
-            // `r` not followed by a string: fall through as a normal ident.
-        }
-        // Plain (byte) string.
-        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
-            if c == 'b' {
-                blank(&mut out, c);
-                i += 1;
-            }
-            blank(&mut out, chars[i]); // opening quote
-            i += 1;
-            while i < n {
-                if chars[i] == '\\' && i + 1 < n {
-                    blank(&mut out, chars[i]);
-                    blank(&mut out, chars[i + 1]);
-                    i += 2;
-                    continue;
-                }
-                let done = chars[i] == '"';
-                blank(&mut out, chars[i]);
-                i += 1;
-                if done {
-                    break;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: a char literal closes with `'` within a
-        // couple of chars; a lifetime never does.
-        if c == '\'' {
-            let is_char_lit = if i + 1 < n && chars[i + 1] == '\\' {
-                true
-            } else {
-                i + 2 < n && chars[i + 2] == '\''
-            };
-            if is_char_lit {
-                blank(&mut out, chars[i]); // opening quote
-                i += 1;
-                while i < n {
-                    if chars[i] == '\\' && i + 1 < n {
-                        blank(&mut out, chars[i]);
-                        blank(&mut out, chars[i + 1]);
-                        i += 2;
-                        continue;
-                    }
-                    let done = chars[i] == '\'';
-                    blank(&mut out, chars[i]);
-                    i += 1;
-                    if done {
-                        break;
-                    }
-                }
-                continue;
-            }
-            // Lifetime: keep the quote as code (the token scan uses it to
-            // skip lifetime parameters).
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Punct(char),
-}
-
-#[derive(Debug, Clone)]
-struct Spanned {
-    tok: Tok,
-    line: usize,
-    col: usize,
-}
-
-fn tokenize(code: &str) -> Vec<Spanned> {
-    let mut out = Vec::new();
-    let mut line = 1usize;
-    let mut col = 1usize;
-    let mut chars = code.chars().peekable();
-    while let Some(&c) = chars.peek() {
-        if c == '\n' {
-            chars.next();
-            line += 1;
-            col = 1;
-            continue;
+/// Escapes a string for embedding in a JSON literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-        if c.is_whitespace() {
-            chars.next();
-            col += 1;
-            continue;
-        }
-        if c.is_alphanumeric() || c == '_' {
-            let (start_line, start_col) = (line, col);
-            let mut ident = String::new();
-            while let Some(&c) = chars.peek() {
-                if c.is_alphanumeric() || c == '_' {
-                    ident.push(c);
-                    chars.next();
-                    col += 1;
-                } else {
-                    break;
-                }
-            }
-            out.push(Spanned {
-                tok: Tok::Ident(ident),
-                line: start_line,
-                col: start_col,
-            });
-            continue;
-        }
-        out.push(Spanned {
-            tok: Tok::Punct(c),
-            line,
-            col,
-        });
-        chars.next();
-        col += 1;
     }
     out
 }
@@ -321,28 +144,6 @@ fn tokenize(code: &str) -> Vec<Spanned> {
 // ---------------------------------------------------------------------------
 // Rules
 // ---------------------------------------------------------------------------
-
-fn ident(toks: &[Spanned], i: usize) -> Option<&str> {
-    match toks.get(i).map(|s| &s.tok) {
-        Some(Tok::Ident(s)) => Some(s),
-        _ => None,
-    }
-}
-
-fn punct(toks: &[Spanned], i: usize) -> Option<char> {
-    match toks.get(i).map(|s| &s.tok) {
-        Some(Tok::Punct(c)) => Some(*c),
-        _ => None,
-    }
-}
-
-/// Whether token `i` is directly preceded by `prefix ::`.
-fn preceded_by(toks: &[Spanned], i: usize, prefix: &str) -> bool {
-    i >= 3
-        && punct(toks, i - 1) == Some(':')
-        && punct(toks, i - 2) == Some(':')
-        && ident(toks, i - 3) == Some(prefix)
-}
 
 /// After a `Map<`/`Set<` at `open`, returns the first type ident of the key
 /// parameter (skipping `&`, `mut` and lifetimes).
@@ -381,22 +182,7 @@ fn hot_fn_spans(toks: &[Spanned], src_lines: &[&str]) -> Vec<(usize, usize)> {
         let Some(open) = (fn_idx..toks.len()).find(|&j| punct(toks, j) == Some('{')) else {
             continue;
         };
-        let mut depth = 0usize;
-        let mut end = toks.len();
-        for j in open..toks.len() {
-            match punct(toks, j) {
-                Some('{') => depth += 1,
-                Some('}') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = j + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        spans.push((open, end));
+        spans.push((open, rustlite::brace_range(toks, open)));
     }
     spans
 }
@@ -424,10 +210,12 @@ fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding
             "HashMap" | "HashSet" => push(i, "hash-collections"),
             "SystemTime" | "Instant" => push(i, "wall-clock"),
             "thread_rng" => push(i, "ambient-rng"),
-            "random" if preceded_by(toks, i, "rand") => push(i, "ambient-rng"),
-            "spawn" if preceded_by(toks, i, "thread") => push(i, "thread-spawn"),
+            "random" if rustlite::preceded_by(toks, i, "rand") => push(i, "ambient-rng"),
+            "spawn" if rustlite::preceded_by(toks, i, "thread") => push(i, "thread-spawn"),
             "to_vec" if in_hot(i) && punct(toks, i + 1) == Some('(') => push(i, "hot-path-alloc"),
-            "new" if in_hot(i) && preceded_by(toks, i, "Vec") => push(i, "hot-path-alloc"),
+            "new" if in_hot(i) && rustlite::preceded_by(toks, i, "Vec") => {
+                push(i, "hot-path-alloc")
+            }
             _ => {}
         }
         if (id.ends_with("Map") || id.ends_with("Set")) && punct(toks, i + 1) == Some('<') {
@@ -442,48 +230,18 @@ fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding
 }
 
 // ---------------------------------------------------------------------------
-// `lint:allow` suppression
-// ---------------------------------------------------------------------------
-
-/// Rules allowed per line: `line -> rule names` parsed from
-/// `lint:allow(rule, rule)` markers anywhere on the line (they live in
-/// comments, so the *raw* source is searched).
-fn allows_by_line(src: &str) -> BTreeMap<usize, Vec<String>> {
-    let mut out: BTreeMap<usize, Vec<String>> = BTreeMap::new();
-    for (idx, line) in src.lines().enumerate() {
-        let mut rest = line;
-        while let Some(pos) = rest.find("lint:allow(") {
-            rest = &rest[pos + "lint:allow(".len()..];
-            let Some(close) = rest.find(')') else { break };
-            let rules = out.entry(idx + 1).or_default();
-            for rule in rest[..close].split(',') {
-                rules.push(rule.trim().to_string());
-            }
-            rest = &rest[close + 1..];
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
 
 /// Lints one file's source text.
 pub fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
-    let code = strip_noncode(src);
-    let toks = tokenize(&code);
+    let code = rustlite::strip_noncode(src);
+    let toks = rustlite::tokenize(&code);
     let lines: Vec<&str> = src.lines().collect();
     let allows = allows_by_line(src);
-    let allowed = |line: usize, rule: &str| {
-        [line, line.saturating_sub(1)]
-            .iter()
-            .filter_map(|l| allows.get(l))
-            .any(|rules| rules.iter().any(|r| r == rule))
-    };
     scan_tokens(&toks, &lines, file)
         .into_iter()
-        .filter(|f| !allowed(f.line, f.rule))
+        .filter(|f| !allowed(&allows, &lines, f.line, f.rule))
         .collect()
 }
 
@@ -495,7 +253,7 @@ pub fn lint_file(path: &Path) -> std::io::Result<Vec<Finding>> {
 
 /// Recursively collects `.rs` files under `dir`, sorted for deterministic
 /// reports.
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -643,11 +401,22 @@ mod tests {
             lint_str("let m: HashMap<u32, u32> = x; // lint:allow(wall-clock)").len(),
             1
         );
-        // An allow two lines up does not suppress.
+        // An allow two lines up does not suppress (no attributes between).
         assert_eq!(
             lint_str("// lint:allow(hash-collections)\n\nlet m: HashMap<u32, u32> = x;").len(),
             1
         );
+    }
+
+    #[test]
+    fn allow_reaches_through_attribute_lines() {
+        // The satellite fix: a marker above `#[derive(...)]` suppresses a
+        // finding on the item line below the attributes.
+        let src = "// lint:allow(hash-collections)\n#[derive(Debug, Default)]\n#[allow(dead_code)]\nstruct S { m: HashMap<u32, u32> }\n";
+        assert!(lint_str(src).is_empty());
+        // But an intervening code line still breaks the chain.
+        let src = "// lint:allow(hash-collections)\nstruct T;\nstruct S { m: HashMap<u32, u32> }\n";
+        assert_eq!(lint_str(src).len(), 1);
     }
 
     #[test]
@@ -656,5 +425,16 @@ mod tests {
         assert_eq!(f.line, 2);
         assert_eq!(f.col, 9);
         assert_eq!(f.excerpt, "let t = Instant::now();");
+        assert_eq!(
+            f.to_json(),
+            r#"{"file":"test.rs","line":2,"col":9,"rule":"wall-clock","excerpt":"let t = Instant::now();"}"#
+        );
+    }
+
+    #[test]
+    fn rule_bits_are_stable() {
+        assert_eq!(rule_bit("hash-collections"), Some(0));
+        assert_eq!(rule_bit("hot-path-alloc"), Some(5));
+        assert_eq!(rule_bit("nonexistent"), None);
     }
 }

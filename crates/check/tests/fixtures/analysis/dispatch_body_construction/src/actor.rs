@@ -1,0 +1,6 @@
+fn on_message(&mut self, msg: Message) {
+    match msg {
+        Message::Put => send(Message::Get),
+        _ => {}
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: an arm body *sends* `Message::Get`; that is not handling it.
+pub enum Message {
+    Put,
+    Get,
+}

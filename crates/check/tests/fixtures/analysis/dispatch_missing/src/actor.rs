@@ -1,0 +1,7 @@
+fn on_message(&mut self, msg: Message) {
+    match msg {
+        Message::Put { x } => go(x),
+        Message::Ack => ack(),
+        _ => {}
+    }
+}

@@ -1,0 +1,6 @@
+fn on_message(&mut self, msg: Message) {
+    match msg {
+        Message::Get(g) => go(g),
+        _ => {}
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `Message::Get` is dispatched by no actor.
+pub enum Message {
+    Put { x: u8 },
+    Get(u8),
+    Ack,
+}

@@ -1,0 +1,6 @@
+pub fn set_reference_fast_mode(on: bool) {
+    FLAG.store(on);
+}
+pub struct FastMode {
+    pub on: bool,
+}

@@ -1,0 +1,4 @@
+fn drives_both_modes() {
+    let m = FastMode { on: true };
+    run(m);
+}

@@ -1,0 +1,4 @@
+//! Fixture: a reference-mode switch no differential test exercises.
+pub fn set_reference_fast_mode(on: bool) {
+    FLAG.store(on);
+}

@@ -1,0 +1,2 @@
+// Mentioning set_reference_fast_mode in a comment does not count.
+fn exercises_something_else() {}

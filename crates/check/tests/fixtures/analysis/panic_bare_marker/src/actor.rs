@@ -1,0 +1,5 @@
+//! Fixture: a marker with no justification is itself a finding.
+fn on_message(&mut self) {
+    // lint:allow(panic-path)
+    self.m.get(&k).expect("x");
+}

@@ -1,0 +1,8 @@
+fn on_message(&mut self) {
+    // lint:allow(panic-path): entry inserted by the dispatch above
+    self.m.get(&k).expect("x");
+    let v = self.bits[0];
+}
+fn helper_not_reachable(&mut self) {
+    self.map.get(&k).unwrap();
+}

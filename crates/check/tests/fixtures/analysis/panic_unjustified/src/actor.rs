@@ -1,0 +1,7 @@
+//! Fixture: an unwrap reachable from `on_message` through a helper.
+fn on_message(&mut self) {
+    self.step();
+}
+fn step(&mut self) {
+    self.map.get(&k).unwrap();
+}

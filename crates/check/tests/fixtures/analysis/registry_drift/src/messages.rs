@@ -1,0 +1,15 @@
+//! Fixture: unmapped variant, dead label, duplicate label, id range.
+pub enum Message {
+    Put,
+    Get,
+    Del,
+}
+impl Payload for Message {
+    const KINDS: &'static [&'static str] = &["PutReq", "GetReq", "DelReq"];
+    fn kind_id(&self) -> usize {
+        match self {
+            Message::Put { .. } => 0,
+            Message::Get { .. } => 1,
+        }
+    }
+}

@@ -1,0 +1,8 @@
+struct M {
+    s: Vec<KindStats>,
+}
+fn new() -> M {
+    M {
+        s: vec![KindStats::default(); 22],
+    }
+}

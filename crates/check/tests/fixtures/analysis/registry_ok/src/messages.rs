@@ -1,0 +1,14 @@
+pub enum Message {
+    Put,
+    PutBatch,
+    Get,
+}
+impl Payload for Message {
+    const KINDS: &'static [&'static str] = &["PutReq", "GetReq"];
+    fn kind_id(&self) -> usize {
+        match self {
+            Message::Put { .. } | Message::PutBatch { .. } => 0,
+            Message::Get { .. } => 1,
+        }
+    }
+}

@@ -1,0 +1,8 @@
+struct M {
+    s: Vec<KindStats>,
+}
+fn new(registry: &[&str]) -> M {
+    M {
+        s: vec![KindStats::default(); registry.len()],
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` outside `erasure::gf::simd`.
+mod simd {
+    pub fn f() {
+        unsafe { core::arch::x86_64::_mm_pause() }
+    }
+}

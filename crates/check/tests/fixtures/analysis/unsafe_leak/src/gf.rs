@@ -1,0 +1,3 @@
+pub fn outside_simd() {
+    unsafe { core::arch::x86_64::_mm_pause() }
+}

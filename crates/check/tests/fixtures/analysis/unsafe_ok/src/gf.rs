@@ -1,0 +1,5 @@
+mod simd {
+    pub fn f() {
+        unsafe { core::arch::x86_64::_mm_pause() }
+    }
+}

@@ -190,6 +190,7 @@ impl VersionStore {
     fn entry(&self, ov: ObjectVersion) -> Option<&FragEntry> {
         match self {
             VersionStore::Dense { slots, index, .. } => {
+                // lint:allow(panic-path): index map entries always point at live slots
                 index.get(&ov).map(|&s| &slots[s as usize].entry)
             }
             VersionStore::Reference { entries, .. } => entries.get(&ov),
@@ -199,6 +200,7 @@ impl VersionStore {
     fn entry_mut(&mut self, ov: ObjectVersion) -> Option<&mut FragEntry> {
         match self {
             VersionStore::Dense { slots, index, .. } => {
+                // lint:allow(panic-path): index map entries always point at live slots
                 index.get(&ov).map(|&s| &mut slots[s as usize].entry)
             }
             VersionStore::Reference { entries, .. } => entries.get_mut(&ov),
@@ -211,6 +213,7 @@ impl VersionStore {
     fn entry_at(&self, ov: ObjectVersion, hint: u32) -> Option<&FragEntry> {
         match self {
             VersionStore::Dense { slots, .. } if hint != NO_SLOT => {
+                // lint:allow(panic-path): hint from a collect_* listing is a live slot (ov debug-asserted)
                 let slot = &slots[hint as usize];
                 debug_assert_eq!(slot.ov, ov);
                 Some(&slot.entry)
@@ -224,6 +227,7 @@ impl VersionStore {
     fn entry_at_mut(&mut self, ov: ObjectVersion, hint: u32) -> Option<&mut FragEntry> {
         if hint != NO_SLOT {
             if let VersionStore::Dense { slots, .. } = self {
+                // lint:allow(panic-path): hint from a collect_* listing is a live slot (ov debug-asserted)
                 let slot = &mut slots[hint as usize];
                 debug_assert_eq!(slot.ov, ov);
                 return Some(&mut slot.entry);
@@ -236,6 +240,7 @@ impl VersionStore {
     fn work(&self, ov: ObjectVersion) -> Option<&ConvWork> {
         match self {
             VersionStore::Dense { slots, index, .. } => {
+                // lint:allow(panic-path): index map entries always point at live slots
                 match &slots[*index.get(&ov)? as usize].state {
                     VersionState::Pending(w) => Some(w),
                     _ => None,
@@ -248,6 +253,7 @@ impl VersionStore {
     fn work_mut(&mut self, ov: ObjectVersion) -> Option<&mut ConvWork> {
         match self {
             VersionStore::Dense { slots, index, .. } => {
+                // lint:allow(panic-path): index map entries always point at live slots
                 match &mut slots[*index.get(&ov)? as usize].state {
                     VersionState::Pending(w) => Some(w),
                     _ => None,
@@ -262,6 +268,7 @@ impl VersionStore {
     fn work_at(&self, ov: ObjectVersion, hint: u32) -> Option<&ConvWork> {
         match self {
             VersionStore::Dense { slots, .. } if hint != NO_SLOT => {
+                // lint:allow(panic-path): hint from a collect_* listing is a live slot (ov debug-asserted)
                 let slot = &slots[hint as usize];
                 debug_assert_eq!(slot.ov, ov);
                 match &slot.state {
@@ -278,6 +285,7 @@ impl VersionStore {
     fn work_at_mut(&mut self, ov: ObjectVersion, hint: u32) -> Option<&mut ConvWork> {
         if hint != NO_SLOT {
             if let VersionStore::Dense { slots, .. } = self {
+                // lint:allow(panic-path): hint from a collect_* listing is a live slot (ov debug-asserted)
                 let slot = &mut slots[hint as usize];
                 debug_assert_eq!(slot.ov, ov);
                 return match &mut slot.state {
@@ -294,6 +302,7 @@ impl VersionStore {
         match self {
             VersionStore::Dense { slots, index, .. } => index
                 .get(&ov)
+                // lint:allow(panic-path): index map entries always point at live slots
                 .is_some_and(|&s| !matches!(slots[s as usize].state, VersionState::Pending(_))),
             VersionStore::Reference { amr, gave_up, .. } => {
                 amr.contains_key(&ov) || gave_up.contains(&ov)
@@ -327,6 +336,7 @@ impl VersionStore {
         out.clear();
         match self {
             VersionStore::Dense { slots, pending, .. } => {
+                // lint:allow(panic-path): the pending list holds live slot ids
                 out.extend(pending.iter().map(|&s| (slots[s as usize].ov, s)));
             }
             VersionStore::Reference { work, .. } => {
@@ -412,6 +422,7 @@ impl VersionStore {
                 pending,
             } => {
                 if let Some(&s) = index.get(&ov) {
+                    // lint:allow(panic-path): index map entries always point at live slots
                     return (&mut slots[s as usize].entry, false);
                 }
                 let s = slots.len() as u32;
@@ -422,6 +433,7 @@ impl VersionStore {
                 });
                 index.insert(ov, s);
                 Self::pending_insert(slots, pending, s);
+                // lint:allow(panic-path): slot s was pushed two statements above
                 (&mut slots[s as usize].entry, true)
             }
             VersionStore::Reference { entries, work, .. } => {
@@ -449,6 +461,7 @@ impl VersionStore {
             } => {
                 let &s = index.get(&ov)?;
                 Self::pending_remove(slots, pending, ov);
+                // lint:allow(panic-path): index map entries always point at live slots
                 match std::mem::replace(&mut slots[s as usize].state, VersionState::Amr(at)) {
                     VersionState::Pending(w) => Some(*w),
                     _ => None,
@@ -474,6 +487,7 @@ impl VersionStore {
             } => {
                 let &s = index.get(&ov)?;
                 Self::pending_remove(slots, pending, ov);
+                // lint:allow(panic-path): index map entries always point at live slots
                 match std::mem::replace(&mut slots[s as usize].state, VersionState::GaveUp) {
                     VersionState::Pending(w) => Some(*w),
                     _ => None,
@@ -496,11 +510,15 @@ impl VersionStore {
                 index,
                 pending,
             } => {
+                // lint:allow(panic-path): callers reopen only versions already present in the store
                 let s = *index.get(&ov).expect("reopened version is stored");
+                // lint:allow(panic-path): index map entries always point at live slots
                 if !matches!(slots[s as usize].state, VersionState::Pending(_)) {
+                    // lint:allow(panic-path): index map entries always point at live slots
                     slots[s as usize].state = VersionState::Pending(Box::new(ConvWork::new(now)));
                     Self::pending_insert(slots, pending, s);
                 }
+                // lint:allow(panic-path): index map entries always point at live slots
                 match &mut slots[s as usize].state {
                     VersionState::Pending(w) => w,
                     _ => unreachable!("just made pending"),
@@ -520,6 +538,7 @@ impl VersionStore {
     fn find_recovery(&self, op: OpId) -> Option<ObjectVersion> {
         match self {
             VersionStore::Dense { slots, pending, .. } => pending.iter().find_map(|&s| {
+                // lint:allow(panic-path): the pending list holds live slot ids
                 let slot = &slots[s as usize];
                 match &slot.state {
                     VersionState::Pending(w) if w.recovery.as_ref().is_some_and(|r| r.op == op) => {
@@ -535,13 +554,16 @@ impl VersionStore {
     }
 
     fn pending_insert(slots: &[VersionSlot], pending: &mut Vec<u32>, s: u32) {
+        // lint:allow(panic-path): the pending list holds live slot ids
         let ov = slots[s as usize].ov;
+        // lint:allow(panic-path): the pending list holds live slot ids
         if let Err(pos) = pending.binary_search_by(|&p| slots[p as usize].ov.cmp(&ov)) {
             pending.insert(pos, s);
         }
     }
 
     fn pending_remove(slots: &[VersionSlot], pending: &mut Vec<u32>, ov: ObjectVersion) {
+        // lint:allow(panic-path): the pending list holds live slot ids
         if let Ok(pos) = pending.binary_search_by(|&p| slots[p as usize].ov.cmp(&ov)) {
             pending.remove(pos);
         }
@@ -631,6 +653,7 @@ impl Fs {
 
     fn codec(&mut self, k: u8, n: u8) -> &Codec {
         self.codecs.entry((k, n)).or_insert_with(|| {
+            // lint:allow(panic-path): (k, n) validated when the policy was accepted
             Codec::new(usize::from(k), usize::from(n)).expect("policy validated at put time")
         })
     }
@@ -785,6 +808,7 @@ impl Fs {
             // allocation on the (usually clean) scrub walk.
             let mut bad = FragMask::new();
             {
+                // lint:allow(panic-path): ov comes from this round's collect_known listing
                 let entry = self.store.entry_at_mut(ov, hint).expect("listed");
                 for (&idx, frag) in &entry.fragments {
                     if !entry
@@ -821,6 +845,7 @@ impl Fs {
     /// thread it through from the context; stored here for inspection
     /// methods we keep a copy the first time an event runs.
     fn self_node(&self) -> NodeId {
+        // lint:allow(panic-path): self_id is recorded the first time an event runs
         self.self_id.expect("FS has processed at least one event")
     }
 
@@ -903,6 +928,7 @@ impl Fs {
                 &self
                     .store
                     .entry(ov)
+                    // lint:allow(panic-path): settled versions stay stored
                     .expect("settled versions are stored")
                     .meta,
             );
@@ -1088,12 +1114,14 @@ impl Fs {
         let entry = self
             .store
             .entry_at(ov, hint)
+            // lint:allow(panic-path): step runs only over the pending listing
             .expect("pending implies stored");
         let meta = Arc::clone(&entry.meta);
         let missing = Self::missing_mask(entry, me);
 
         // Charge the backoff up front; any new information resets it.
         let attempt = {
+            // lint:allow(panic-path): step already verified the version is pending
             let work = self.store.work_at_mut(ov, hint).expect("checked by caller");
             work.attempts += 1;
             let delay = self.opts.backoff_delay(work.attempts);
@@ -1111,6 +1139,7 @@ impl Fs {
                     continue;
                 }
                 let klss = self.topo.klss_in(dc);
+                // lint:allow(panic-path): every DC has at least one KLS (topology invariant)
                 let kls = klss[(attempt - 1) % klss.len()];
                 ctx.send(
                     kls,
@@ -1126,6 +1155,7 @@ impl Fs {
         } else {
             // 3. Verification: probe all KLSs and sibling FSs.
             {
+                // lint:allow(panic-path): step already verified the version is pending
                 let work = self.store.work_at_mut(ov, hint).expect("present");
                 work.kls_ok.clear();
                 work.fs_ok.clear();
@@ -1162,6 +1192,7 @@ impl Fs {
         let me = ctx.self_id();
         let op = self.next_op;
         self.next_op += 1;
+        // lint:allow(panic-path): recovery starts only for pending (hence stored) versions
         let meta = Arc::clone(&self.store.entry(ov).expect("pending implies stored").meta);
         let timeout_timer =
             ctx.schedule_timer(self.opts.recovery_timeout, TAG_RECOVERY_TIMEOUT | op);
@@ -1178,6 +1209,7 @@ impl Fs {
                 }
             }
             let wait_timer = ctx.schedule_timer(self.opts.recovery_wait, TAG_RECOVERY_WAIT | op);
+            // lint:allow(panic-path): recovery starts only for pending versions
             let work = self.store.work_mut(ov).expect("present");
             work.recovery = Some(Recovery {
                 op,
@@ -1202,6 +1234,7 @@ impl Fs {
                     );
                 }
             }
+            // lint:allow(panic-path): recovery starts only for pending versions
             let work = self.store.work_mut(ov).expect("present");
             work.recovery = Some(Recovery {
                 op,
@@ -1222,6 +1255,7 @@ impl Fs {
         };
         let me = ctx.self_id();
         let (local, k) = {
+            // lint:allow(panic-path): find_recovery returned this ov, so it is stored
             let entry = self.store.entry(ov).expect("recovering implies stored");
             let local: BTreeSet<FragmentIndex> = entry.fragments.keys().copied().collect();
             (local, usize::from(entry.meta.policy().k))
@@ -1232,7 +1266,9 @@ impl Fs {
         let mut plan: Vec<(NodeId, FragmentIndex)> = Vec::new();
         let mut planned: BTreeSet<FragmentIndex> = local.clone();
         {
+            // lint:allow(panic-path): find_recovery returned this ov, so it is pending
             let work = self.store.work_mut(ov).expect("recovering");
+            // lint:allow(panic-path): find_recovery guarantees an in-flight recovery
             let rec = work.recovery.as_mut().expect("recovering");
             rec.phase = RecoveryPhase::Fetching;
             rec.wait_timer = None;
@@ -1278,8 +1314,11 @@ impl Fs {
     fn try_finish_recovery(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion) {
         let me = ctx.self_id();
         let (policy, value_len, meta, my_mask, pool, sibling_needs) = {
+            // lint:allow(panic-path): recovery in flight implies stored
             let entry = self.store.entry(ov).expect("recovering implies stored");
+            // lint:allow(panic-path): recovery in flight implies pending
             let work = self.store.work(ov).expect("recovering");
+            // lint:allow(panic-path): callers reach here only with a recovery in flight
             let rec = work.recovery.as_ref().expect("recovery in flight");
             let mut pool: BTreeMap<FragmentIndex, Fragment> = entry.fragments.clone();
             for (idx, frag) in &rec.collected {
@@ -1321,6 +1360,7 @@ impl Fs {
         let mut recovered = std::mem::take(&mut self.recover_scratch);
         self.codec(policy.k, policy.n)
             .recover_into(&sources, &targets, value_len, &mut recovered)
+            // lint:allow(panic-path): pool.len() >= k checked above
             .expect("k fragments suffice");
         let by_idx: BTreeMap<FragmentIndex, Fragment> =
             recovered.drain(..).map(|f| (f.index(), f)).collect();
@@ -1328,8 +1368,10 @@ impl Fs {
 
         // Store our own missing fragments.
         {
+            // lint:allow(panic-path): recovering versions stay stored
             let entry = self.store.entry_mut(ov).expect("present");
             for idx in my_mask.iter() {
+                // lint:allow(panic-path): recover_into returns a fragment for every requested target
                 let frag = by_idx[&idx].clone();
                 entry.checksums.insert(idx, Checksum::of(frag.data()));
                 entry.fragments.insert(idx, frag);
@@ -1344,6 +1386,7 @@ impl Fs {
                     Message::SiblingStore {
                         ov,
                         meta: share,
+                        // lint:allow(panic-path): recover_into returns a fragment for every requested target
                         fragment: by_idx[&idx].clone(),
                     },
                 );
@@ -1351,7 +1394,9 @@ impl Fs {
         }
 
         self.recoveries_done += 1;
+        // lint:allow(panic-path): recovering versions stay pending until settled here
         let work = self.store.work_mut(ov).expect("present");
+        // lint:allow(panic-path): recovery was in flight until taken here
         let rec = work.recovery.take().expect("recovery in flight");
         self.cancel_recovery_timers(ctx, &rec);
         self.note_progress(ctx, ov);
@@ -1373,6 +1418,7 @@ impl Fs {
         if work.kls_ok.len() < self.total_klss {
             return;
         }
+        // lint:allow(panic-path): pending versions are always stored
         let meta = &self.store.entry(ov).expect("pending implies stored").meta;
         let all_siblings_ok = meta
             .sibling_fss()
@@ -1393,6 +1439,7 @@ impl Fs {
         fragment: Fragment,
     ) {
         self.adopt(ctx, ov, meta);
+        // lint:allow(panic-path): adopt just stored this version
         let entry = self.store.entry_mut(ov).expect("adopted");
         let idx = fragment.index();
         if !entry.fragments.contains_key(&idx) {
@@ -1426,6 +1473,7 @@ impl Fs {
                 self.recovery_cancelled(ctx, ov, op);
             }
         }
+        // lint:allow(panic-path): adopt just stored this version
         let entry = self.store.entry(ov).expect("adopted");
         let have: Vec<FragmentIndex> = entry.fragments.keys().copied().collect();
         let missing: Vec<FragmentIndex> = if entry.meta.is_complete() {
@@ -1478,6 +1526,7 @@ impl Actor<Message> for Fs {
                 // Proxy location update for a fragment we already hold
                 // (second wave of the put, §5.2).
                 self.adopt(ctx, ov, &meta);
+                // lint:allow(panic-path): adopt just stored this version
                 let complete = self.store.entry(ov).expect("adopted").meta.is_complete();
                 ctx.send(from, Message::StoreMetadataReply { ov, complete });
             }
@@ -1596,6 +1645,7 @@ impl Actor<Message> for Fs {
                 {
                     // Present but corrupt.
                     let now = ctx.now();
+                    // lint:allow(panic-path): the entry was checked present just above
                     let entry = self.store.entry_mut(ov).expect("present");
                     entry.fragments.remove(&fragment);
                     entry.checksums.remove(&fragment);

@@ -196,6 +196,7 @@ impl Actor<Message> for Kls {
                 self.absorb(ov, &meta);
                 let locations = match self.storemeta.get(&ov) {
                     Some(m) if m.has_dc(self.my_dc) => {
+                        // lint:allow(panic-path): the match guard checked has_dc
                         m.dc_locations(self.my_dc).expect("checked has_dc").to_vec()
                     }
                     _ => Self::which_locs(&self.topo, self.my_dc, ov, meta.policy()),
@@ -213,8 +214,10 @@ impl Actor<Message> for Kls {
                 );
                 // Indicate a *fresh* decision to the sibling FSs so they
                 // learn the locations without probing themselves.
-                if newly_decided {
-                    let meta = Arc::clone(&self.storemeta[&ov]);
+                if let Some(meta) = newly_decided
+                    .then(|| self.storemeta.get(&ov).map(Arc::clone))
+                    .flatten()
+                {
                     for fs in meta.sibling_fss() {
                         if fs != from {
                             ctx.send(

@@ -232,8 +232,17 @@ impl Proxy {
 
     fn codec(&mut self, k: u8, n: u8) -> &Codec {
         self.codecs.entry((k, n)).or_insert_with(|| {
+            // lint:allow(panic-path): (k, n) validated against MAX_FRAGMENTS at put accept
             Codec::new(usize::from(k), usize::from(n)).expect("policy validated")
         })
+    }
+
+    /// The in-flight put for `ov`. Callers hold an `ov` they looked up in
+    /// `self.puts` earlier on the same dispatch path, so absence is a
+    /// protocol bug worth a loud failure.
+    fn put_op(&self, ov: ObjectVersion) -> &PutOp {
+        // lint:allow(panic-path): ov taken from a live self.puts entry on this dispatch path
+        self.puts.get(&ov).expect("in-flight put")
     }
 
     // ---- put ----
@@ -349,7 +358,8 @@ impl Proxy {
         let sends: Vec<(NodeId, Fragment)> = meta
             .assignments()
             .filter(|(idx, _)| meta.dc_of_fragment(*idx) == dc)
-            .map(|(idx, loc)| (loc.fs, self.puts[&ov].fragments[idx as usize].clone()))
+            // lint:allow(panic-path): assignment indexes are < n == fragments.len()
+            .map(|(idx, loc)| (loc.fs, self.put_op(ov).fragments[idx as usize].clone()))
             .collect();
         for (fs, fragment) in sends {
             ctx.send(
@@ -388,6 +398,8 @@ impl Proxy {
         // Full acknowledgment: every KLS holds complete metadata and every
         // assigned fragment is durably stored -> the proxy knows the
         // version is AMR.
+        // Field-level borrow (not put_op) so puts_fully_acked stays assignable.
+        // lint:allow(panic-path): ov taken from a live self.puts entry on this dispatch path
         let op = &self.puts[&ov];
         if !op.meta.is_complete() {
             return;
@@ -561,6 +573,7 @@ impl Proxy {
             Some(ts) => {
                 get.untried.remove(&ts);
                 get.tried.insert(ts);
+                // lint:allow(panic-path): untried is populated from kls_meta keys
                 let meta = Arc::clone(&get.kls_meta[&ts]);
                 let ov = ObjectVersion::new(get.key, ts);
                 let requests: Vec<(NodeId, FragmentIndex)> =
@@ -666,6 +679,7 @@ impl Proxy {
             let mut value = std::mem::take(&mut self.decode_scratch);
             self.codec(policy.k, policy.n)
                 .decode_into(&frags, value_len, &mut value)
+                // lint:allow(panic-path): fragments.len() >= k checked above, all checksum-verified
                 .expect("k verified fragments decode");
             let blob = Bytes::copy_from_slice(&value);
             frags.clear();
@@ -749,13 +763,9 @@ impl Actor<Message> for Proxy {
             Message::StoreMetadataReply { ov, complete } => {
                 // FSs also acknowledge metadata updates; only KLS
                 // acknowledgments feed the AMR condition.
-                if self.puts.contains_key(&ov) {
+                if let Some(op) = self.puts.get_mut(&ov) {
                     if complete && self.topo.is_kls(from) {
-                        self.puts
-                            .get_mut(&ov)
-                            .expect("checked")
-                            .kls_complete
-                            .insert(from);
+                        op.kls_complete.insert(from);
                     }
                     self.on_put_progress(ctx, ov);
                 }

@@ -295,6 +295,13 @@ impl<M: Payload> Simulation<M> {
         }
     }
 
+    /// Whether this simulation runs on the reference binary-heap queue —
+    /// chosen at construction from [`set_reference_queue_mode`] or per
+    /// instance via [`Simulation::use_reference_queue`].
+    pub fn queue_is_reference(&self) -> bool {
+        self.inner.queue.is_reference()
+    }
+
     /// Offsets the internal event sequence counter, so differential tests
     /// can exercise ordering comparisons near the top of the `u64` range.
     /// Must be called before any event is scheduled.
@@ -466,12 +473,14 @@ impl<M: Payload> Simulation<M> {
         self.started = true;
         for i in 0..self.actors.len() {
             let id = NodeId::new(i as u32);
+            // lint:allow(panic-path): slots are only vacated within a dispatch and restored before return
             let mut actor = self.actors[i].take().expect("actor slot occupied");
             let mut ctx = Context {
                 self_id: id,
                 inner: &mut self.inner,
             };
             actor.on_start(&mut ctx);
+            // lint:allow(panic-path): loop index bounded by actors.len()
             self.actors[i] = Some(actor);
         }
     }
@@ -510,6 +519,7 @@ impl<M: Payload> Simulation<M> {
                 return RunOutcome::EventLimitReached;
             }
             let inner = &mut self.inner;
+            // lint:allow(panic-path): peek_next returned Some on this very iteration
             let ev = inner.queue.pop(&inner.timers).expect("peeked event exists");
             debug_assert!(ev.at >= self.inner.now, "time went backwards");
             self.inner.now = ev.at;
@@ -519,8 +529,10 @@ impl<M: Payload> Simulation<M> {
             }
 
             let slot = ev.to.index();
+            // lint:allow(panic-path): NodeIds are minted by add_actor, so the slot exists
             let mut actor = self.actors[slot]
                 .take()
+                // lint:allow(panic-path): an unknown or re-entered target is a harness bug that must fail loudly
                 .expect("event addressed to unknown or re-entered actor");
             {
                 let mut ctx = Context {
@@ -532,6 +544,7 @@ impl<M: Payload> Simulation<M> {
                     EventKind::Timer { tag, .. } => actor.on_timer(&mut ctx, tag),
                 }
             }
+            // lint:allow(panic-path): same slot that was just taken above
             self.actors[slot] = Some(actor);
 
             // The inspector borrows the whole simulation, so take it out of

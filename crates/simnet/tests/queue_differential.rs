@@ -106,9 +106,17 @@ impl Actor<Msg> for Scripted {
 
 /// Runs one scripted simulation to quiescence and returns its full
 /// observable state: trace, dispatch count, final clock, and metric sums.
-fn run(seed: u64, nodes: u32, script: &[Op], reference: bool, seq_base: Option<u64>) -> Observed {
+fn run(
+    seed: u64,
+    nodes: u32,
+    script: &[Op],
+    reference: Option<bool>,
+    seq_base: Option<u64>,
+) -> Observed {
     let mut sim: Simulation<Msg> = Simulation::new(seed);
-    sim.use_reference_queue(reference);
+    if let Some(reference) = reference {
+        sim.use_reference_queue(reference);
+    }
     if let Some(base) = seq_base {
         sim.set_seq_base(base);
     }
@@ -170,13 +178,13 @@ proptest! {
         nodes in 2u32..5,
         script in proptest::collection::vec(op_strategy(), 0..60),
     ) {
-        let wheel = run(seed, nodes, &script, false, None);
-        let heap = run(seed, nodes, &script, true, None);
+        let wheel = run(seed, nodes, &script, Some(false), None);
+        let heap = run(seed, nodes, &script, Some(true), None);
         prop_assert_eq!(&wheel, &heap);
 
         // Same schedule with the sequence counter near the top of the u64
         // range: ordering must not depend on absolute sequence values.
-        let high = run(seed, nodes, &script, false, Some(u64::MAX - (1 << 20)));
+        let high = run(seed, nodes, &script, Some(false), Some(u64::MAX - (1 << 20)));
         prop_assert_eq!(&wheel, &high);
     }
 }
@@ -235,7 +243,40 @@ fn long_timers_cross_the_wheel_window_identically() {
             _ => Op::Cancel { idx: i as usize },
         })
         .collect();
-    let wheel = run(99, 3, &script, false, None);
-    let heap = run(99, 3, &script, true, None);
+    let wheel = run(99, 3, &script, Some(false), None);
+    let heap = run(99, 3, &script, Some(true), None);
     assert_eq!(wheel, heap);
+}
+
+#[test]
+fn process_wide_reference_queue_mode_applies_at_construction() {
+    // `set_reference_queue_mode` must switch *subsequently constructed*
+    // simulations to the reference heap with no per-instance call, and a
+    // run under the process-wide switch must be observationally identical
+    // to both explicitly selected modes.
+    let script: Vec<Op> = (0..15)
+        .map(|i| match i % 3 {
+            0 => Op::Send { hop: 1 },
+            1 => Op::Timer { delay_ms: 4 + i },
+            _ => Op::Cancel { idx: i as usize },
+        })
+        .collect();
+    let wheel = run(11, 3, &script, Some(false), None);
+    let heap = run(11, 3, &script, Some(true), None);
+
+    simnet::set_reference_queue_mode(true);
+    let constructed_under_switch: Simulation<Msg> = Simulation::new(11);
+    let global = run(11, 3, &script, None, None);
+    simnet::set_reference_queue_mode(false);
+
+    assert!(
+        constructed_under_switch.queue_is_reference(),
+        "process-wide switch applies at construction"
+    );
+    assert!(
+        !Simulation::<Msg>::new(11).queue_is_reference(),
+        "switch restored: fresh simulations are back on the wheel"
+    );
+    assert_eq!(global, heap);
+    assert_eq!(global, wheel);
 }

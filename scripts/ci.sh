@@ -17,6 +17,14 @@ cargo test --workspace -q
 echo "==> determinism lint"
 cargo run -p check --bin lint
 
+echo "==> semantic analyzer (workspace must be clean)"
+cargo run -p check --release --bin analyze
+
+echo "==> mutation smoke (pinned 10 mutants, kill-rate gate >= 8/10)"
+# Surviving mutants print their diff; the binary exits 1 below the gate.
+cargo run -p check --release --bin mutate -- --smoke --bench-out BENCH_analysis.json
+python3 -m json.tool BENCH_analysis.json > /dev/null
+
 echo "==> invariant explorer (smoke sweep, sequential)"
 cargo run -p check --release --bin explore -- --smoke --digest-out target/digest-seq.txt
 
