@@ -32,8 +32,9 @@
 //! * **registry-sync** — the dense kind registry stays coherent:
 //!   `KINDS` labels are unique, `kind_id` maps every enum variant exactly
 //!   once onto ids that exactly cover `0..KINDS.len()`, and per-kind
-//!   dense arrays (files using `KindStats`) are sized from
-//!   `registry.len()`, never a hand-written integer.
+//!   dense arrays — in any file that references the registry, whatever
+//!   their element type — are sized from `registry.len()`, never a
+//!   hand-written integer.
 //!
 //! All rules degrade safely on code the model cannot parse: no finding is
 //! ever produced from a construct rustlite does not understand, and the
@@ -73,7 +74,7 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "registry-sync",
         "KINDS labels unique, kind_id total and onto 0..KINDS.len(), dense per-kind arrays \
-         sized from the registry length",
+         in registry-referencing files sized from the registry length",
     ),
 ];
 
@@ -617,12 +618,16 @@ fn rule_registry_sync(ws: &Workspace, out: &mut Vec<Finding>) {
         if has_kinds {
             registry_file_checks(f, out);
         }
-        // Dense per-kind arrays: files using KindStats must size every
-        // repeat-form vec! from the registry, not a hand-written integer.
-        let uses_kind_stats = toks
+        // Dense per-kind arrays: any file that touches the kind registry
+        // (reads `KINDS` or a `registry` binding) must size every
+        // repeat-form vec! from the registry length, not a hand-written
+        // integer. Gating on the registry reference rather than one
+        // blessed element type keeps the rule covering whatever per-kind
+        // arrays the metrics layer grows next.
+        let references_registry = toks
             .iter()
-            .any(|s| matches!(&s.tok, Tok::Ident(id) if id == "KindStats"));
-        if !uses_kind_stats {
+            .any(|s| matches!(&s.tok, Tok::Ident(id) if id == "KINDS" || id == "registry"));
+        if !references_registry {
             continue;
         }
         for i in 0..toks.len() {
@@ -1059,14 +1064,17 @@ impl Payload for Message {
 
     #[test]
     fn registry_sync_dense_array_sizing() {
-        let bad = "struct M { s: Vec<KindStats> }\nfn new() -> M { M { s: vec![KindStats::default(); 22] } }\n";
+        // Element type is irrelevant: any literal-sized repeat vec! in a
+        // registry-referencing file drifts.
+        let bad = "fn new(registry: &[&str]) -> Vec<u64> { let s = vec![0u64; registry.len()]; let d = vec![DropStats::default(); 22]; d }\n";
         assert_eq!(
             rules_hit(&ws(&[("metrics.rs", bad)])),
             vec!["registry-sync"]
         );
         let good = "struct M { s: Vec<KindStats> }\nfn new(registry: &[&str]) -> M { M { s: vec![KindStats::default(); registry.len()] } }\n";
         assert!(rules_hit(&ws(&[("metrics.rs", good)])).is_empty());
-        // Non-repeat vec! and literal vec! without KindStats: out of scope.
+        // Non-repeat vec!, and literal vec! in a file that never touches
+        // the registry: out of scope.
         let unrelated = "fn f() { let v = vec![1, 2, 3]; let w = vec![0; 4]; }\n";
         assert!(rules_hit(&ws(&[("other.rs", unrelated)])).is_empty());
     }

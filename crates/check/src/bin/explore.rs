@@ -28,6 +28,11 @@
 //!   `batched` changes the traffic accounting, so its digests differ but
 //!   every invariant must still hold. Default: the process default
 //!   (optimized, unbatched);
+//! * `--scale` — after the sweep, run the scale-tier spot check: one Zipf
+//!   streaming-workload scenario pinned to the scale protocol mode
+//!   (sharded stores + converged-version compaction) with the invariant
+//!   registry installed at a sampled rate. Its digest line — which pins
+//!   the compacted-version count — is appended to `--digest-out`;
 //! * `--quiet` — suppress per-scenario progress lines.
 
 use std::path::PathBuf;
@@ -40,7 +45,7 @@ fn usage() -> ! {
         "usage: explore [--smoke] [--seeds N] [--puts N] [--value-len N] \
          [--inject-corruption] [--trace-out PATH] [--workers N] \
          [--digest-out PATH] [--protocol reference|optimized|batched] \
-         [--quiet]"
+         [--scale] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
     let mut trace_out = PathBuf::from("target/check-violation.trace");
     let mut digest_out: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
+    let mut scale = false;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -90,6 +96,7 @@ fn main() -> ExitCode {
                 }
                 _ => usage(),
             },
+            "--scale" => scale = true,
             "--quiet" => quiet = true,
             _ => usage(),
         }
@@ -139,6 +146,33 @@ fn main() -> ExitCode {
         None => explorer::sweep(&cfg, injection, &mut on_scenario),
     };
 
+    let mut scale_violation = None;
+    if scale {
+        let scale_cfg = explorer::ScaleCheckCfg::smoke();
+        let out = explorer::run_scale_check(&scale_cfg);
+        if !quiet {
+            println!(
+                "[scale] seed={} keys={} puts={} -> {:?}, {} events, {} compacted{}",
+                scale_cfg.seed,
+                scale_cfg.key_space,
+                scale_cfg.puts,
+                out.outcome,
+                out.events,
+                out.compacted,
+                if out.violation.is_some() {
+                    "  ** VIOLATION **"
+                } else {
+                    ""
+                },
+            );
+        }
+        if digest_out.is_some() {
+            digest.push_str(&explorer::scale_digest_line(&scale_cfg, &out));
+            digest.push('\n');
+        }
+        scale_violation = out.violation;
+    }
+
     if let Some(path) = &digest_out {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
@@ -147,7 +181,25 @@ fn main() -> ExitCode {
             eprintln!("failed to write digest {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        println!("digest: {n} lines written to {}", path.display());
+        println!(
+            "digest: {} lines written to {}",
+            digest.lines().count(),
+            path.display()
+        );
+    }
+
+    if let Some(v) = scale_violation {
+        println!();
+        println!(
+            "INVARIANT VIOLATED in scale check: {} — {}",
+            v.invariant, v.detail
+        );
+        println!(
+            "  at event {} / {:.3}s virtual",
+            v.events_processed,
+            v.sim_time.as_secs_f64()
+        );
+        return ExitCode::FAILURE;
     }
 
     match result.violation {

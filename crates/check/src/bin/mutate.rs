@@ -4,11 +4,13 @@
 //!
 //! * `--list` — scan the workspace and print every mutation site with its
 //!   stable id (`operator:file-stem:occurrence`).
-//! * `--smoke` — run the 10 pinned protocol mutants
+//! * `--smoke` — run the 11 pinned protocol mutants
 //!   ([`check::mutate::PINNED_SMOKE`]) against the explorer smoke sweep
-//!   and gate on the kill-rate: **≥ 8 of 10** must be killed (invariant
-//!   violation, digest mismatch, crash or timeout). Surviving mutants
-//!   print their source diff. Exit 1 when the gate fails.
+//!   (plus the `--scale` spot check, whose digest line pins the
+//!   compacted-version count) and gate on the kill-rate: **≥ 9 of 11**
+//!   must be killed (invariant violation, digest mismatch, crash or
+//!   timeout). Surviving mutants print their source diff. Exit 1 when
+//!   the gate fails.
 //! * `--id ID` (repeatable) — run specific mutants by id.
 //!
 //! `--bench-out PATH` additionally records `BENCH_analysis.json`: the
@@ -24,7 +26,7 @@ use std::time::{Duration, Instant};
 use check::{analysis, mutate};
 
 /// Minimum pinned mutants that must be killed for `--smoke` to pass.
-const SMOKE_KILL_GATE: usize = 8;
+const SMOKE_KILL_GATE: usize = 9;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -104,7 +106,11 @@ fn main() -> ExitCode {
     );
 
     println!("preparing scratch tree + unmutated baseline sweep...");
-    let harness = match mutate::Harness::prepare(&root, &[], timeout) {
+    // `--scale` appends the scale check's digest line, which pins the
+    // compacted-version count — the only observable that can kill the
+    // compaction-skip mutant.
+    let sweep_args = ["--scale".to_string()];
+    let harness = match mutate::Harness::prepare(&root, &sweep_args, timeout) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("mutate: baseline preparation failed: {e}");

@@ -15,6 +15,7 @@ use pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout};
 use pahoehoe::convergence::ConvergenceOptions;
 use pahoehoe::fs::{Fs, WAKE_TIMER_TAG};
 use pahoehoe::protocol::ProtocolMode;
+use pahoehoe::workload::{KeyDistribution, StreamingWorkload};
 use simnet::{FaultPlan, NetworkConfig, NodeId, RunOutcome, SimDuration, SimTime};
 
 use crate::invariants::{Checker, Violation};
@@ -609,5 +610,118 @@ pub fn digest_line(index: usize, sc: &Scenario, outcome: &ScenarioOutcome) -> St
         outcome.events,
         outcome.sim_time.as_micros(),
         erasure::Checksum::of(outcome.metrics_digest.as_bytes()).as_u64(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Sampled-invariant scale check (`explore --scale`)
+// ---------------------------------------------------------------------------
+
+/// Configuration for the scale-tier spot check: one Zipf streaming-workload
+/// scenario run under [`ProtocolMode::scale`] (sharded stores, converged-
+/// version compaction) with the full invariant registry installed at a
+/// sampled rate.
+#[derive(Debug, Clone)]
+pub struct ScaleCheckCfg {
+    /// RNG seed for both the cluster and the workload stream.
+    pub seed: u64,
+    /// Number of distinct keys the Zipf stream draws from.
+    pub key_space: u64,
+    /// Total puts issued by the streaming client.
+    pub puts: u64,
+    /// Blob size per put.
+    pub value_len: usize,
+    /// Per-event invariant checks run once every this many events
+    /// (end-of-run checks always run).
+    pub sample_every: u64,
+}
+
+impl ScaleCheckCfg {
+    /// The CI smoke cell: small enough for the test gate, update-heavy
+    /// enough (a Zipf stream over a small key space) that converged-
+    /// version compaction provably fires.
+    pub fn smoke() -> Self {
+        ScaleCheckCfg {
+            seed: 42,
+            key_space: 200,
+            puts: 600,
+            value_len: 1024,
+            sample_every: 500,
+        }
+    }
+}
+
+/// Outcome of [`run_scale_check`].
+#[derive(Debug, Clone)]
+pub struct ScaleOutcome {
+    /// First invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Events processed.
+    pub events: u64,
+    /// Virtual time at the end of the run.
+    pub sim_time: SimTime,
+    /// Total converged versions collapsed to residual records across all
+    /// FSs — pinned in the digest line so a disabled compactor is a
+    /// digest-visible mutation.
+    pub compacted: u64,
+    /// Full traffic-metrics rendering.
+    pub metrics_digest: String,
+}
+
+/// Runs the scale-tier spot check. The cluster is pinned to
+/// [`ProtocolMode::scale`] regardless of the process-wide switches, so the
+/// check exercises sharding and compaction even when the surrounding sweep
+/// runs another mode.
+pub fn run_scale_check(cfg: &ScaleCheckCfg) -> ScaleOutcome {
+    let mut cc = ClusterConfig::paper_default();
+    cc.protocol = ProtocolMode::scale();
+    cc.workload_value_len = cfg.value_len;
+    cc.streaming_workload = Some(StreamingWorkload {
+        puts: cfg.puts,
+        key_space: cfg.key_space,
+        value_len: cfg.value_len,
+        policy: cc.policy,
+        seed: cfg.seed,
+        dist: KeyDistribution::Zipf { exponent: 1.1 },
+    });
+    let mut cluster = Cluster::build(cc, cfg.seed);
+    let checker = Checker::install_sampled(
+        &mut cluster,
+        crate::invariants::registry(),
+        cfg.sample_every,
+    );
+    let report = cluster.run_to_convergence();
+    let violation = checker.finish(&cluster, report.outcome);
+    let compacted = cluster
+        .topology()
+        .all_fss()
+        .map(|fs| cluster.sim().actor::<Fs>(fs).compacted_count() as u64)
+        .sum();
+    let sim = cluster.sim();
+    ScaleOutcome {
+        violation,
+        outcome: report.outcome,
+        events: sim.events_processed(),
+        sim_time: sim.now(),
+        compacted,
+        metrics_digest: format!("{:?}", sim.metrics()),
+    }
+}
+
+/// The scale check's replay-digest line, appended after the sweep's
+/// per-scenario lines when both `--scale` and `--digest-out` are given.
+pub fn scale_digest_line(cfg: &ScaleCheckCfg, out: &ScaleOutcome) -> String {
+    format!(
+        "scale seed={} keys={} puts={} dist=zipf -> {:?} events={} t={}us compacted={} metrics={:016x}",
+        cfg.seed,
+        cfg.key_space,
+        cfg.puts,
+        out.outcome,
+        out.events,
+        out.sim_time.as_micros(),
+        out.compacted,
+        erasure::Checksum::of(out.metrics_digest.as_bytes()).as_u64(),
     )
 }

@@ -151,8 +151,17 @@ impl Invariant for AckedDurability {
         for ov in acked {
             let k = usize::from(view.policy.k);
             let mut distinct: BTreeMap<u8, Fragment> = BTreeMap::new();
+            // Fragment indices recorded in compaction residuals: the bytes
+            // are gone (the version reached AMR — every sibling verified
+            // every assigned fragment — before its entry was released), so
+            // they count toward redundancy but cannot be byte-checked.
+            let mut residual_distinct: BTreeSet<u8> = BTreeSet::new();
             for &fs in view.fss {
-                let Some(entry) = view.sim.actor::<Fs>(fs).entry(ov) else {
+                let actor = view.sim.actor::<Fs>(fs);
+                let Some(entry) = actor.entry(ov) else {
+                    if let Some(held) = actor.compacted_residual(ov) {
+                        residual_distinct.extend(held.iter());
+                    }
                     continue;
                 };
                 for (&idx, frag) in &entry.fragments {
@@ -166,13 +175,18 @@ impl Invariant for AckedDurability {
                     distinct.entry(idx).or_insert_with(|| frag.clone());
                 }
             }
-            if distinct.len() < k {
+            residual_distinct.extend(distinct.keys().copied());
+            if residual_distinct.len() < k {
                 return Err(format!(
-                    "ACKed {ov:?}: only {} distinct fragments stored, need k = {k}",
-                    distinct.len()
+                    "ACKed {ov:?}: only {} distinct fragments stored or in residuals, \
+                     need k = {k}",
+                    residual_distinct.len()
                 ));
             }
-            if self.decoded.insert(ov) {
+            // The decode check needs actual bytes; run it only while k full
+            // fragments still exist (always, unless compaction released
+            // them first — in which case AMR verification already ran).
+            if distinct.len() >= k && self.decoded.insert(ov) {
                 let subset: Vec<Fragment> = distinct.into_values().take(k).collect();
                 let mut decoded = std::mem::take(&mut self.decode_scratch);
                 let codec = self.codec.as_ref().expect("codec built above");
@@ -232,13 +246,22 @@ impl Invariant for QuiescentAmr {
         }
         for &c in view.clients {
             for &ov in view.sim.actor::<Client>(c).success_versions() {
-                if !durable.contains(&ov) {
+                if !durable.contains(&ov) && !is_compacted_somewhere(view, ov) {
                     return Err(format!("ACKed version {ov:?} is not durable at end of run"));
                 }
             }
         }
         Ok(())
     }
+}
+
+/// Whether any FS holds a compaction residual for `ov` — evidence the
+/// version reached AMR (and so was durable) before its fragment bytes
+/// were released.
+fn is_compacted_somewhere(view: &ClusterView<'_>, ov: ObjectVersion) -> bool {
+    view.fss
+        .iter()
+        .any(|&fs| view.sim.actor::<Fs>(fs).compacted_residual(ov).is_some())
 }
 
 // ---------------------------------------------------------------------------
@@ -318,7 +341,18 @@ impl Invariant for ChecksumIntegrity {
         for &fs in view.fss {
             let actor = view.sim.actor::<Fs>(fs);
             for ov in actor.known_versions() {
-                let entry = actor.entry(ov).expect("known version has an entry");
+                let Some(entry) = actor.entry(ov) else {
+                    // A known version with no full entry must be a
+                    // compaction residual — anything else lost its
+                    // checksum bookkeeping.
+                    if actor.compacted_residual(ov).is_none() {
+                        return Err(format!(
+                            "{fs:?} knows {ov:?} but stores neither an entry nor a \
+                             compaction residual for it"
+                        ));
+                    }
+                    continue;
+                };
                 for (&idx, frag) in &entry.fragments {
                     match entry.checksums.get(&idx) {
                         None => {
@@ -491,12 +525,68 @@ impl Invariant for DurableMonotone {
 
     fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
         let now = analysis::durable_versions(view.sim, view.fss);
-        if let Some(lost) = self.durable.difference(&now).next() {
+        // Compaction legitimately removes a version from the durable set
+        // (its fragment bytes are released after AMR); any other shrink
+        // means an actor deleted fragments it should have kept.
+        if let Some(&lost) = self
+            .durable
+            .difference(&now)
+            .find(|&&ov| !is_compacted_somewhere(view, ov))
+        {
             return Err(format!(
                 "version {lost:?} was durable earlier in the run but is not anymore"
             ));
         }
         self.durable = now;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 7: compaction only ever collapses superseded AMR versions.
+// ---------------------------------------------------------------------------
+
+/// Every compaction residual is legitimate: the compacted version settled
+/// as AMR on that FS, a strictly newer version of the same key is also
+/// settled AMR there (the superseding write), and the version never
+/// re-enters the pending set. Together with [`NoResurrection`] this pins
+/// the no-resurrection half of the compaction contract; the durability
+/// half is [`AckedDurability`]'s residual accounting.
+pub struct CompactionSafety;
+
+impl Invariant for CompactionSafety {
+    fn name(&self) -> &'static str {
+        "compaction-safety"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        for &fs in view.fss {
+            let actor = view.sim.actor::<Fs>(fs);
+            if actor.compacted_count() == 0 {
+                continue;
+            }
+            let amr: BTreeSet<ObjectVersion> = actor.amr_versions().collect();
+            let pending: BTreeSet<ObjectVersion> = actor.pending_versions().collect();
+            for ov in actor.compacted_versions() {
+                if !amr.contains(&ov) {
+                    return Err(format!("{fs:?} compacted {ov:?} which is not settled AMR"));
+                }
+                if pending.contains(&ov) {
+                    return Err(format!(
+                        "{fs:?} compacted {ov:?} yet it re-entered the pending set"
+                    ));
+                }
+                let superseded = amr
+                    .iter()
+                    .any(|&newer| newer.key == ov.key && newer.ts > ov.ts);
+                if !superseded {
+                    return Err(format!(
+                        "{fs:?} compacted {ov:?} with no newer settled-AMR version of \
+                         the same key"
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -511,6 +601,7 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         Box::new(ChecksumIntegrity),
         Box::new(MetricsSanity::new()),
         Box::new(DurableMonotone::new()),
+        Box::new(CompactionSafety),
     ]
 }
 
@@ -545,6 +636,12 @@ struct CheckerState {
     invariants: Vec<Box<dyn Invariant>>,
     ctx: StaticCtx,
     violation: Option<Violation>,
+    /// Run the per-event checks every `sample_every` events (1 = every
+    /// event). Final checks always run. Sampling trades detection
+    /// latency (not soundness of what *is* checked) for throughput on
+    /// scale runs, where per-event whole-cluster walks would dominate.
+    sample_every: u64,
+    events_since_check: u64,
 }
 
 impl CheckerState {
@@ -552,6 +649,11 @@ impl CheckerState {
         if self.violation.is_some() {
             return; // first violation wins; keep the run cheap afterwards
         }
+        self.events_since_check += 1;
+        if self.events_since_check < self.sample_every {
+            return;
+        }
+        self.events_since_check = 0;
         let view = self.ctx.view(sim);
         for inv in &mut self.invariants {
             if let Err(detail) = inv.check_event(&view) {
@@ -598,6 +700,18 @@ impl Checker {
     /// [`finish`](Checker::finish) when the run ends to run the final
     /// checks and retrieve the verdict.
     pub fn install(cluster: &mut Cluster, invariants: Vec<Box<dyn Invariant>>) -> Checker {
+        Checker::install_sampled(cluster, invariants, 1)
+    }
+
+    /// Like [`install`](Checker::install), but runs the per-event checks
+    /// only every `sample_every` events. End-of-run checks are unaffected.
+    /// Scale runs use this to keep whole-cluster invariant walks off the
+    /// per-event hot path while still checking the same properties.
+    pub fn install_sampled(
+        cluster: &mut Cluster,
+        invariants: Vec<Box<dyn Invariant>>,
+        sample_every: u64,
+    ) -> Checker {
         let ctx = StaticCtx {
             topo: Arc::clone(cluster.topology()),
             fss: cluster.topology().all_fss().collect(),
@@ -610,6 +724,8 @@ impl Checker {
             invariants,
             ctx,
             violation: None,
+            sample_every: sample_every.max(1),
+            events_since_check: 0,
         }));
         let hook = Rc::clone(&state);
         cluster

@@ -65,6 +65,11 @@ pub const OPERATORS: &[(&str, &str)] = &[
         "timer-gen-skip",
         "TimerSlab retire keeps the old generation, so cancelled timers still fire",
     ),
+    (
+        "compaction-skip",
+        "converged-version compaction never fires (`if self.mode.compact_converged` gated \
+         with `&& false`)",
+    ),
 ];
 
 /// Files the operators scan, workspace-relative. Only protocol-decision
@@ -243,6 +248,19 @@ pub fn scan_file(rel: &Path, src: &str) -> Vec<Mutation> {
         push("fragmask-flip", pos + 3, pos + 4, "2".to_string());
     }
 
+    // compaction-skip: the converged-version compactor never runs. Killed
+    // through the scale check's digest line, which pins the compacted
+    // count (`explore --scale`, see DESIGN.md §8.7).
+    const COMPACT_GATE: &str = "if self.mode.compact_converged && newly_settled {";
+    for pos in occurrences(src, COMPACT_GATE) {
+        push(
+            "compaction-skip",
+            pos,
+            pos + COMPACT_GATE.len(),
+            "if self.mode.compact_converged && newly_settled && false {".to_string(),
+        );
+    }
+
     // timer-gen-skip: only meaningful in the timer slab.
     if stem == "queue" {
         for pos in occurrences(src, "wrapping_add(1)") {
@@ -277,8 +295,8 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Mutation>> {
 // Pinned smoke set
 // ---------------------------------------------------------------------------
 
-/// The 10 pinned protocol mutants CI runs (`mutate --smoke`), chosen to
-/// cover all five operators across proxy, FS, KLS, protocol helpers,
+/// The 11 pinned protocol mutants CI runs (`mutate --smoke`), chosen to
+/// cover all six operators across proxy, FS, KLS, protocol helpers,
 /// timer slab and checksum. The kill-rate gate and the per-mutant
 /// expectations are documented in DESIGN.md §6.
 pub const PINNED_SMOKE: &[&str] = &[
@@ -292,6 +310,7 @@ pub const PINNED_SMOKE: &[&str] = &[
     "ack-drop:kls:0",            // DecideLocsReply never sent (put cannot place)
     "fragmask-flip:protocol:0",  // FragMask::insert sets the wrong bit
     "timer-gen-skip:queue:0",    // timer slab reuses live generations
+    "compaction-skip:fs:0",      // compactor off: scale-check digest's compacted count drops
 ];
 
 // ---------------------------------------------------------------------------
@@ -593,6 +612,7 @@ pub fn write_bench(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"analysis\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
     out.push_str(&format!(
         "  \"analyzer\": {{ \"files\": {analyzer_files}, \"wall_ms\": {analyzer_ms:.2} }},\n"
     ));
@@ -684,8 +704,20 @@ mod tests {
     }
 
     #[test]
-    fn pinned_set_is_ten_distinct_ids() {
+    fn pinned_set_is_eleven_distinct_ids() {
         let set: std::collections::BTreeSet<&&str> = PINNED_SMOKE.iter().collect();
-        assert_eq!(set.len(), 10);
+        assert_eq!(set.len(), 11);
+    }
+
+    #[test]
+    fn compaction_skip_site_is_found() {
+        let src = "fn f(&mut self) { if self.mode.compact_converged && newly_settled {\n    self.store.compact_superseded(ov);\n} }\n";
+        let ms = scan_file(Path::new("fs.rs"), src);
+        let m = ms
+            .iter()
+            .find(|m| m.operator == "compaction-skip")
+            .expect("site found");
+        assert_eq!(m.id, "compaction-skip:fs:0");
+        assert!(m.apply(src).contains("newly_settled && false {"));
     }
 }

@@ -1,8 +1,10 @@
 struct M {
-    s: Vec<KindStats>,
+    sends: Vec<u64>,
+    drops: Vec<DropStats>,
 }
-fn new() -> M {
+fn with_registry(registry: &[&str]) -> M {
     M {
-        s: vec![KindStats::default(); 22],
+        sends: vec![0; registry.len()],
+        drops: vec![DropStats::default(); 22],
     }
 }

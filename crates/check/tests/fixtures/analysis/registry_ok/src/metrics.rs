@@ -1,8 +1,10 @@
 struct M {
-    s: Vec<KindStats>,
+    sends: Vec<u64>,
+    drops: Vec<DropStats>,
 }
-fn new(registry: &[&str]) -> M {
+fn with_registry(registry: &[&str]) -> M {
     M {
-        s: vec![KindStats::default(); registry.len()],
+        sends: vec![0; registry.len()],
+        drops: vec![DropStats::default(); registry.len()],
     }
 }

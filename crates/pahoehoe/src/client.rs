@@ -11,11 +11,12 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
-use simnet::{Actor, Context, NodeId, SimDuration};
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
 
 use crate::messages::{Message, OpId};
 use crate::policy::Policy;
 use crate::types::{Key, ObjectVersion};
+use crate::workload::StreamingWorkload;
 
 const TAG_NEXT_OP: u64 = 1;
 const TAG_OP_TIMEOUT: u64 = 1 << 56;
@@ -65,8 +66,14 @@ pub struct Client {
     /// operation timeout plus a round trip.
     op_timeout: SimDuration,
     script: VecDeque<ClientOp>,
+    /// Constant-memory op source drained after `script`: ops synthesized
+    /// one at a time from `(workload, next index)`, so a million-put
+    /// workload never materializes a script. Retries re-enter `script`.
+    stream: Option<(StreamingWorkload, u64)>,
     in_flight: Option<(OpId, ClientOp)>,
     in_flight_timer: Option<simnet::TimerId>,
+    /// When the in-flight operation was issued.
+    in_flight_since: SimTime,
     next_op: OpId,
     wakeup_scheduled: bool,
     /// Attempts that timed out with no proxy answer at all.
@@ -74,6 +81,13 @@ pub struct Client {
     // ---- outcome accounting ----
     puts_attempted: u64,
     puts_succeeded: u64,
+    /// Put attempts the proxy answered (success or failure). Paired with
+    /// [`last_put_latency`](Client::last_put_latency) this lets an
+    /// external observer (e.g. the scale bench's inspector) stream every
+    /// per-put latency into a constant-memory estimator.
+    puts_answered: u64,
+    /// Issue-to-answer latency of the most recently answered put.
+    last_put_latency: SimDuration,
     /// Versions whose put the client saw succeed.
     success_versions: BTreeSet<ObjectVersion>,
     /// Versions created by attempts the client saw fail.
@@ -92,13 +106,17 @@ impl Client {
             retry_delay: SimDuration::from_millis(200),
             op_timeout: SimDuration::from_secs(5),
             script: script.into(),
+            stream: None,
             in_flight: None,
             in_flight_timer: None,
+            in_flight_since: SimTime::ZERO,
             next_op: 1,
             wakeup_scheduled: false,
             puts_timed_out: 0,
             puts_attempted: 0,
             puts_succeeded: 0,
+            puts_answered: 0,
+            last_put_latency: SimDuration::ZERO,
             success_versions: BTreeSet::new(),
             failed_versions: BTreeSet::new(),
             version_of: BTreeMap::new(),
@@ -124,6 +142,14 @@ impl Client {
         Client::new(proxy, script)
     }
 
+    /// Creates a client that synthesizes its puts one at a time from a
+    /// [`StreamingWorkload`] — constant memory in the workload size.
+    pub fn streaming(proxy: NodeId, workload: StreamingWorkload) -> Self {
+        let mut c = Client::new(proxy, Vec::new());
+        c.stream = Some((workload, 0));
+        c
+    }
+
     /// Deterministic synthetic object contents for workload key `i`.
     pub fn synthetic_value(i: u64, len: usize) -> Bytes {
         let mut v = Vec::with_capacity(len);
@@ -144,9 +170,31 @@ impl Client {
         self.script.push_back(op);
     }
 
-    /// All operations done (script drained and nothing in flight)?
+    /// All operations done (script and stream drained, nothing in
+    /// flight)?
     pub fn is_done(&self) -> bool {
-        self.script.is_empty() && self.in_flight.is_none()
+        self.script.is_empty() && !self.stream_has_more() && self.in_flight.is_none()
+    }
+
+    fn stream_has_more(&self) -> bool {
+        self.stream
+            .as_ref()
+            .is_some_and(|(wl, next)| *next < wl.puts)
+    }
+
+    /// The next operation: scripted ops (including retries pushed back to
+    /// the front) first, then the stream.
+    fn next_op_from_script(&mut self) -> Option<ClientOp> {
+        if let Some(op) = self.script.pop_front() {
+            return Some(op);
+        }
+        let (wl, next) = self.stream.as_mut()?;
+        if *next >= wl.puts {
+            return None;
+        }
+        let op = wl.op_at(*next);
+        *next += 1;
+        Some(op)
     }
 
     /// Overrides the operation timeout (see the field docs).
@@ -167,6 +215,16 @@ impl Client {
     /// Puts the proxy reported successful.
     pub fn puts_succeeded(&self) -> u64 {
         self.puts_succeeded
+    }
+
+    /// Put attempts the proxy answered (success or failure) so far.
+    pub fn puts_answered(&self) -> u64 {
+        self.puts_answered
+    }
+
+    /// Issue-to-answer latency of the most recently answered put.
+    pub fn last_put_latency(&self) -> SimDuration {
+        self.last_put_latency
     }
 
     /// Versions whose put succeeded.
@@ -201,7 +259,7 @@ impl Client {
         if self.in_flight.is_some() {
             return;
         }
-        let Some(op) = self.script.pop_front() else {
+        let Some(op) = self.next_op_from_script() else {
             return;
         };
         let id = self.next_op;
@@ -224,6 +282,7 @@ impl Client {
             }
         }
         self.in_flight = Some((id, op));
+        self.in_flight_since = ctx.now();
         self.in_flight_timer = Some(ctx.schedule_timer(self.op_timeout, TAG_OP_TIMEOUT | id));
     }
 
@@ -260,7 +319,7 @@ impl Client {
 
 impl Actor<Message> for Client {
     fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
-        if !self.script.is_empty() {
+        if !self.script.is_empty() || self.stream_has_more() {
             self.kick(ctx, SimDuration::ZERO);
         }
     }
@@ -280,6 +339,10 @@ impl Actor<Message> for Client {
                     debug_assert!(false, "put reply while get in flight");
                     return;
                 };
+                self.puts_answered += 1;
+                self.last_put_latency = SimDuration::from_micros(
+                    ctx.now().as_micros() - self.in_flight_since.as_micros(),
+                );
                 if success {
                     self.puts_succeeded += 1;
                     self.success_versions.insert(ov);

@@ -155,6 +155,11 @@ pub struct ClusterConfig {
     /// built with [`Workload`](crate::workload::Workload) for non-uniform
     /// object sizes.
     pub custom_workload: Option<Vec<ClientOp>>,
+    /// A constant-memory streamed workload (takes precedence over the
+    /// standard workload, yields to `custom_workload`): the client
+    /// synthesizes each put from `(seed, index)` instead of materializing
+    /// a script — the scale harness's million-key mode.
+    pub streaming_workload: Option<crate::workload::StreamingWorkload>,
     /// Virtual-time safety deadline for [`Cluster::run_to_convergence`].
     pub max_sim_time: SimDuration,
 }
@@ -179,6 +184,7 @@ impl ClusterConfig {
             workload_puts: 0,
             workload_value_len: 100 * 1024,
             custom_workload: None,
+            streaming_workload: None,
             max_sim_time: SimDuration::from_secs(24 * 3600),
         }
     }
@@ -288,9 +294,10 @@ impl Cluster {
         ));
         debug_assert_eq!(proxy_id, layout.proxy());
 
-        let client = match &config.custom_workload {
-            Some(script) => Client::new(proxy_id, script.clone()),
-            None => Client::standard_workload(
+        let client = match (&config.custom_workload, &config.streaming_workload) {
+            (Some(script), _) => Client::new(proxy_id, script.clone()),
+            (None, Some(stream)) => Client::streaming(proxy_id, stream.clone()),
+            (None, None) => Client::standard_workload(
                 proxy_id,
                 config.workload_puts,
                 config.workload_value_len,

@@ -35,7 +35,7 @@ use crate::messages::{Message, OpId};
 use crate::metadata::Metadata;
 use crate::protocol::{FragMask, ProtocolMode};
 use crate::topology::{DataCenterId, Topology};
-use crate::types::ObjectVersion;
+use crate::types::{Key, ObjectVersion, Timestamp};
 
 /// Timer tags (upper byte selects the kind, low bits carry an op id).
 const TAG_ROUND: u64 = 1 << 56;
@@ -132,17 +132,136 @@ enum VersionState {
     GaveUp,
 }
 
+/// The storage payload of one slab slot: the full fragment entry, or the
+/// O(1) residual left behind by converged-version compaction.
+#[derive(Debug)]
+enum SlotEntry {
+    /// Fragments, checksums and metadata are all retained.
+    Full(FragEntry),
+    /// Compacted: the version was settled AMR *and* superseded by a newer
+    /// settled-AMR version of the same key, so its fragment bytes,
+    /// checksums and metadata handle have been released. `held` records
+    /// which fragment indices were stored at compaction time, which is
+    /// what keeps convergence replies about this version byte-identical
+    /// to the full store's (and lets the sampled invariants assert the
+    /// version really was durable).
+    Compacted { held: FragMask },
+}
+
+impl SlotEntry {
+    fn full(&self) -> Option<&FragEntry> {
+        match self {
+            SlotEntry::Full(e) => Some(e),
+            SlotEntry::Compacted { .. } => None,
+        }
+    }
+
+    fn full_mut(&mut self) -> Option<&mut FragEntry> {
+        match self {
+            SlotEntry::Full(e) => Some(e),
+            SlotEntry::Compacted { .. } => None,
+        }
+    }
+}
+
 /// One dense per-version record: fragment entry and lifecycle state side
 /// by side in one slab slot.
 #[derive(Debug)]
 struct VersionSlot {
     ov: ObjectVersion,
-    entry: FragEntry,
+    entry: SlotEntry,
     state: VersionState,
 }
 
 /// Slot hint meaning "resolve through the index".
 const NO_SLOT: u32 = u32::MAX;
+
+/// Shard count of the dense store's key-sharded `ov -> slot` index
+/// (power of two; the shard is a hash of the key, so every version of a
+/// key lands in the same shard and per-key range scans stay local).
+const SHARD_FANOUT: usize = 64;
+
+/// The dense store's `ov -> slot` index, split into `fanout` shards by
+/// key hash. With `fanout == 1` this is exactly the flat map the scale
+/// tier replaced, kept reachable via `ProtocolMode::shard_store = false`
+/// as the differential oracle. Lookups touch a single shard whose size is
+/// `~versions / fanout`, which keeps comparisons short and the working
+/// set of a hot key's operations small at million-key scale.
+#[derive(Debug)]
+struct ShardIndex {
+    shards: Vec<BTreeMap<ObjectVersion, u32>>,
+    mask: u64,
+}
+
+impl ShardIndex {
+    fn new(fanout: usize) -> Self {
+        debug_assert!(fanout.is_power_of_two());
+        ShardIndex {
+            shards: (0..fanout).map(|_| BTreeMap::new()).collect(),
+            mask: fanout as u64 - 1,
+        }
+    }
+
+    /// The shard holding `key`'s versions (splitmix64 finalizer: workload
+    /// keys are often sequential, so the raw bits must be mixed).
+    // lint:hot
+    fn shard_of(&self, key: Key) -> usize {
+        let mut h = key.as_u64();
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        (h & self.mask) as usize
+    }
+
+    // lint:hot
+    fn get(&self, ov: &ObjectVersion) -> Option<u32> {
+        // lint:allow(panic-path): shard_of is masked to the shard count
+        self.shards[self.shard_of(ov.key)].get(ov).copied()
+    }
+
+    fn insert(&mut self, ov: ObjectVersion, s: u32) {
+        let i = self.shard_of(ov.key);
+        // lint:allow(panic-path): shard_of is masked to the shard count
+        self.shards[i].insert(ov, s);
+    }
+
+    /// `key`'s versions strictly newer than `ov`, ascending, with slot
+    /// ids.
+    fn key_versions_above(
+        &self,
+        ov: ObjectVersion,
+    ) -> impl DoubleEndedIterator<Item = (ObjectVersion, u32)> + '_ {
+        let hi = ObjectVersion::new(ov.key, Timestamp::MAX);
+        // lint:allow(panic-path): shard_of is masked to the shard count
+        self.shards[self.shard_of(ov.key)]
+            .range((std::ops::Bound::Excluded(ov), std::ops::Bound::Included(hi)))
+            .map(|(&v, &s)| (v, s))
+    }
+
+    /// `key`'s versions strictly older than `ov`, ascending, with slot
+    /// ids.
+    fn key_versions_below(
+        &self,
+        ov: ObjectVersion,
+    ) -> impl DoubleEndedIterator<Item = (ObjectVersion, u32)> + '_ {
+        let lo = ObjectVersion::new(ov.key, Timestamp::MIN);
+        // lint:allow(panic-path): shard_of is masked to the shard count
+        self.shards[self.shard_of(ov.key)]
+            .range(lo..ov)
+            .map(|(&v, &s)| (v, s))
+    }
+
+    /// Every stored version in global object-version order (inspection
+    /// only: collects and sorts across shards).
+    fn keys_sorted(&self) -> Vec<ObjectVersion> {
+        let mut all: Vec<ObjectVersion> =
+            self.shards.iter().flat_map(|m| m.keys().copied()).collect();
+        all.sort_unstable();
+        all
+    }
+}
 
 /// Per-version storage for an FS, behind the protocol reference switch.
 ///
@@ -156,7 +275,7 @@ const NO_SLOT: u32 = u32::MAX;
 enum VersionStore {
     Dense {
         slots: Vec<VersionSlot>,
-        index: BTreeMap<ObjectVersion, u32>,
+        index: ShardIndex,
         /// Slot indices of pending versions, sorted by object version so
         /// rounds step versions in the same order as the reference maps.
         pending: Vec<u32>,
@@ -170,11 +289,11 @@ enum VersionStore {
 }
 
 impl VersionStore {
-    fn new(dense: bool) -> Self {
-        if dense {
+    fn new(mode: ProtocolMode) -> Self {
+        if mode.share_metadata {
             VersionStore::Dense {
                 slots: Vec::new(),
-                index: BTreeMap::new(),
+                index: ShardIndex::new(if mode.shard_store { SHARD_FANOUT } else { 1 }),
                 pending: Vec::new(),
             }
         } else {
@@ -191,7 +310,7 @@ impl VersionStore {
         match self {
             VersionStore::Dense { slots, index, .. } => {
                 // lint:allow(panic-path): index map entries always point at live slots
-                index.get(&ov).map(|&s| &slots[s as usize].entry)
+                index.get(&ov).and_then(|s| slots[s as usize].entry.full())
             }
             VersionStore::Reference { entries, .. } => entries.get(&ov),
         }
@@ -200,8 +319,9 @@ impl VersionStore {
     fn entry_mut(&mut self, ov: ObjectVersion) -> Option<&mut FragEntry> {
         match self {
             VersionStore::Dense { slots, index, .. } => {
+                let s = index.get(&ov)?;
                 // lint:allow(panic-path): index map entries always point at live slots
-                index.get(&ov).map(|&s| &mut slots[s as usize].entry)
+                slots[s as usize].entry.full_mut()
             }
             VersionStore::Reference { entries, .. } => entries.get_mut(&ov),
         }
@@ -216,7 +336,7 @@ impl VersionStore {
                 // lint:allow(panic-path): hint from a collect_* listing is a live slot (ov debug-asserted)
                 let slot = &slots[hint as usize];
                 debug_assert_eq!(slot.ov, ov);
-                Some(&slot.entry)
+                slot.entry.full()
             }
             _ => self.entry(ov),
         }
@@ -230,7 +350,7 @@ impl VersionStore {
                 // lint:allow(panic-path): hint from a collect_* listing is a live slot (ov debug-asserted)
                 let slot = &mut slots[hint as usize];
                 debug_assert_eq!(slot.ov, ov);
-                return Some(&mut slot.entry);
+                return slot.entry.full_mut();
             }
         }
         self.entry_mut(ov)
@@ -241,7 +361,7 @@ impl VersionStore {
         match self {
             VersionStore::Dense { slots, index, .. } => {
                 // lint:allow(panic-path): index map entries always point at live slots
-                match &slots[*index.get(&ov)? as usize].state {
+                match &slots[index.get(&ov)? as usize].state {
                     VersionState::Pending(w) => Some(w),
                     _ => None,
                 }
@@ -254,7 +374,7 @@ impl VersionStore {
         match self {
             VersionStore::Dense { slots, index, .. } => {
                 // lint:allow(panic-path): index map entries always point at live slots
-                match &mut slots[*index.get(&ov)? as usize].state {
+                match &mut slots[index.get(&ov)? as usize].state {
                     VersionState::Pending(w) => Some(w),
                     _ => None,
                 }
@@ -303,7 +423,7 @@ impl VersionStore {
             VersionStore::Dense { slots, index, .. } => index
                 .get(&ov)
                 // lint:allow(panic-path): index map entries always point at live slots
-                .is_some_and(|&s| !matches!(slots[s as usize].state, VersionState::Pending(_))),
+                .is_some_and(|s| !matches!(slots[s as usize].state, VersionState::Pending(_))),
             VersionStore::Reference { amr, gave_up, .. } => {
                 amr.contains_key(&ov) || gave_up.contains(&ov)
             }
@@ -313,12 +433,105 @@ impl VersionStore {
     fn amr_at(&self, ov: ObjectVersion) -> Option<SimTime> {
         match self {
             VersionStore::Dense { slots, index, .. } => {
-                match slots[*index.get(&ov)? as usize].state {
+                // lint:allow(panic-path): index map entries always point at live slots
+                match slots[index.get(&ov)? as usize].state {
                     VersionState::Amr(at) => Some(at),
                     _ => None,
                 }
             }
             VersionStore::Reference { amr, .. } => amr.get(&ov).copied(),
+        }
+    }
+
+    /// The compaction residual for `ov`: the fragment-index mask recorded
+    /// when the version's entry was released, if it has been compacted.
+    fn residual(&self, ov: ObjectVersion) -> Option<FragMask> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => {
+                // lint:allow(panic-path): index map entries always point at live slots
+                match slots[index.get(&ov)? as usize].entry {
+                    SlotEntry::Compacted { held } => Some(held),
+                    SlotEntry::Full(_) => None,
+                }
+            }
+            VersionStore::Reference { .. } => None,
+        }
+    }
+
+    /// Number of compacted residual records in the slab.
+    fn compacted_count(&self) -> usize {
+        match self {
+            VersionStore::Dense { slots, .. } => slots
+                .iter()
+                .filter(|s| matches!(s.entry, SlotEntry::Compacted { .. }))
+                .count(),
+            VersionStore::Reference { .. } => 0,
+        }
+    }
+
+    /// Incremental compaction run on the *first* settle of `ov`:
+    /// compacts `ov` itself when a strictly newer settled-AMR version of
+    /// its key exists, and every settled-AMR version strictly older than
+    /// `ov` — fragments, checksums and the metadata handle collapse to a
+    /// [`SlotEntry::Compacted`] residual. Dense-store only (the
+    /// reference maps model the seed, which never compacted). Returns
+    /// how many versions were compacted.
+    ///
+    /// Running this on every first settle maintains the invariant that
+    /// *every settled version superseded by a newer settled version is
+    /// compacted*, which is what lets the downward walk stop at the
+    /// first already-compacted slot: anything older is superseded by
+    /// that (settled) slot and was therefore compacted when the
+    /// invariant last held. Each version is compacted exactly once and
+    /// the walks only re-visit the bounded window of still-unsettled
+    /// interleaved versions, so the amortized cost per settle is O(1) —
+    /// the earlier whole-key rescan made a hot key's settles quadratic
+    /// in its version count.
+    fn compact_superseded(&mut self, ov: ObjectVersion) -> usize {
+        let VersionStore::Dense { slots, index, .. } = self else {
+            return 0;
+        };
+        let mut compacted = 0;
+        // `ov` is superseded iff any strictly newer version of its key
+        // has settled (newer unsettled versions are the in-flight
+        // window; scan past them).
+        let superseded = index
+            .key_versions_above(ov)
+            // lint:allow(panic-path): index map entries always point at live slots
+            .any(|(_, s)| matches!(slots[s as usize].state, VersionState::Amr(_)));
+        if superseded {
+            if let Some(s) = index.get(&ov) {
+                // lint:allow(panic-path): index map entries always point at live slots
+                compacted += Self::compact_slot(&mut slots[s as usize]);
+            }
+        }
+        // Everything strictly older than the just-settled `ov` is
+        // superseded; walk down until the first already-compacted slot.
+        for (_, s) in index.key_versions_below(ov).rev() {
+            // lint:allow(panic-path): index map entries always point at live slots
+            let slot = &mut slots[s as usize];
+            if matches!(slot.entry, SlotEntry::Compacted { .. }) {
+                break;
+            }
+            if matches!(slot.state, VersionState::Amr(_)) {
+                compacted += Self::compact_slot(slot);
+            }
+        }
+        compacted
+    }
+
+    /// Collapses a settled slot's full entry to its residual record.
+    /// Returns 1 if the slot was compacted (0 if already a residual).
+    fn compact_slot(slot: &mut VersionSlot) -> usize {
+        if let SlotEntry::Full(e) = &slot.entry {
+            let mut held = FragMask::new();
+            for &idx in e.fragments.keys() {
+                held.insert(idx);
+            }
+            slot.entry = SlotEntry::Compacted { held };
+            1
+        } else {
+            0
         }
     }
 
@@ -375,13 +588,32 @@ impl VersionStore {
         }
     }
 
+    /// Stored versions matching `keep`, in global object-version order
+    /// (collected and sorted across shards; inspection paths only).
+    fn sorted_versions_where(
+        slots: &[VersionSlot],
+        index: &ShardIndex,
+        keep: impl Fn(&VersionSlot) -> bool,
+    ) -> Vec<ObjectVersion> {
+        let mut out: Vec<ObjectVersion> = index
+            .shards
+            .iter()
+            .flat_map(|m| m.iter())
+            // lint:allow(panic-path): index map entries always point at live slots
+            .filter(|(_, &s)| keep(&slots[s as usize]))
+            .map(|(&ov, _)| ov)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     fn amr_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
         match self {
             VersionStore::Dense { slots, index, .. } => Box::new(
-                index
-                    .iter()
-                    .filter(move |(_, &s)| matches!(slots[s as usize].state, VersionState::Amr(_)))
-                    .map(|(&ov, _)| ov),
+                Self::sorted_versions_where(slots, index, |slot| {
+                    matches!(slot.state, VersionState::Amr(_))
+                })
+                .into_iter(),
             ),
             VersionStore::Reference { amr, .. } => Box::new(amr.keys().copied()),
         }
@@ -390,10 +622,10 @@ impl VersionStore {
     fn gave_up_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
         match self {
             VersionStore::Dense { slots, index, .. } => Box::new(
-                index
-                    .iter()
-                    .filter(move |(_, &s)| matches!(slots[s as usize].state, VersionState::GaveUp))
-                    .map(|(&ov, _)| ov),
+                Self::sorted_versions_where(slots, index, |slot| {
+                    matches!(slot.state, VersionState::GaveUp)
+                })
+                .into_iter(),
             ),
             VersionStore::Reference { gave_up, .. } => Box::new(gave_up.iter().copied()),
         }
@@ -401,40 +633,55 @@ impl VersionStore {
 
     fn known_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
         match self {
-            VersionStore::Dense { index, .. } => Box::new(index.keys().copied()),
+            VersionStore::Dense { index, .. } => Box::new(index.keys_sorted().into_iter()),
             VersionStore::Reference { entries, .. } => Box::new(entries.keys().copied()),
+        }
+    }
+
+    /// Versions collapsed to compaction residuals, in object-version
+    /// order.
+    fn compacted_versions(&self) -> Box<dyn Iterator<Item = ObjectVersion> + '_> {
+        match self {
+            VersionStore::Dense { slots, index, .. } => Box::new(
+                Self::sorted_versions_where(slots, index, |slot| {
+                    matches!(slot.entry, SlotEntry::Compacted { .. })
+                })
+                .into_iter(),
+            ),
+            VersionStore::Reference { .. } => Box::new(std::iter::empty()),
         }
     }
 
     /// Entry for `ov`, inserting a fresh one (which always starts
     /// pending) built by `make` if absent. Returns the entry and whether
-    /// it was inserted.
+    /// it was inserted — or `None` if the version is a compacted
+    /// residual, which must never be resurrected into a full entry.
     fn entry_or_insert_with(
         &mut self,
         ov: ObjectVersion,
         now: SimTime,
         make: impl FnOnce() -> FragEntry,
-    ) -> (&mut FragEntry, bool) {
+    ) -> Option<(&mut FragEntry, bool)> {
         match self {
             VersionStore::Dense {
                 slots,
                 index,
                 pending,
             } => {
-                if let Some(&s) = index.get(&ov) {
+                if let Some(s) = index.get(&ov) {
                     // lint:allow(panic-path): index map entries always point at live slots
-                    return (&mut slots[s as usize].entry, false);
+                    return slots[s as usize].entry.full_mut().map(|e| (e, false));
                 }
                 let s = slots.len() as u32;
                 slots.push(VersionSlot {
                     ov,
-                    entry: make(),
+                    entry: SlotEntry::Full(make()),
                     state: VersionState::Pending(Box::new(ConvWork::new(now))),
                 });
                 index.insert(ov, s);
                 Self::pending_insert(slots, pending, s);
                 // lint:allow(panic-path): slot s was pushed two statements above
-                (&mut slots[s as usize].entry, true)
+                slots[s as usize].entry.full_mut().map(|e| (e, true))
             }
             VersionStore::Reference { entries, work, .. } => {
                 let mut inserted = false;
@@ -445,7 +692,7 @@ impl VersionStore {
                 if inserted {
                     work.insert(ov, ConvWork::new(now));
                 }
-                (entry, inserted)
+                Some((entry, inserted))
             }
         }
     }
@@ -459,7 +706,7 @@ impl VersionStore {
                 index,
                 pending,
             } => {
-                let &s = index.get(&ov)?;
+                let s = index.get(&ov)?;
                 Self::pending_remove(slots, pending, ov);
                 // lint:allow(panic-path): index map entries always point at live slots
                 match std::mem::replace(&mut slots[s as usize].state, VersionState::Amr(at)) {
@@ -485,7 +732,7 @@ impl VersionStore {
                 index,
                 pending,
             } => {
-                let &s = index.get(&ov)?;
+                let s = index.get(&ov)?;
                 Self::pending_remove(slots, pending, ov);
                 // lint:allow(panic-path): index map entries always point at live slots
                 match std::mem::replace(&mut slots[s as usize].state, VersionState::GaveUp) {
@@ -511,7 +758,12 @@ impl VersionStore {
                 pending,
             } => {
                 // lint:allow(panic-path): callers reopen only versions already present in the store
-                let s = *index.get(&ov).expect("reopened version is stored");
+                let s = index.get(&ov).expect("reopened version is stored");
+                debug_assert!(
+                    // lint:allow(panic-path): index map entries always point at live slots
+                    matches!(slots[s as usize].entry, SlotEntry::Full(_)),
+                    "compacted versions hold no bytes and never re-enter convergence"
+                );
                 // lint:allow(panic-path): index map entries always point at live slots
                 if !matches!(slots[s as usize].state, VersionState::Pending(_)) {
                     // lint:allow(panic-path): index map entries always point at live slots
@@ -638,7 +890,7 @@ impl Fs {
             self_id: None,
             mode,
             total_klss,
-            store: VersionStore::new(mode.share_metadata),
+            store: VersionStore::new(mode),
             batch: None,
             round_scheduled: false,
             next_op: 1,
@@ -672,8 +924,14 @@ impl Fs {
 
     /// Whether this FS holds every fragment assigned to it by `ov`'s
     /// metadata and that metadata is complete (the per-FS half of the AMR
-    /// condition; the paper's `verify(storefrag[ov])`).
+    /// condition; the paper's `verify(storefrag[ov])`). A compacted
+    /// residual reports `true`: compaction requires the version to have
+    /// been settled AMR, which implies it verified (so replies about it
+    /// stay byte-identical to the full store's).
     pub fn verified(&self, ov: ObjectVersion) -> bool {
+        if self.store.residual(ov).is_some() {
+            return true;
+        }
         self.store.entry(ov).is_some_and(|e| {
             e.meta.is_complete()
                 && e.meta
@@ -723,6 +981,23 @@ impl Fs {
         self.corruption_detected
     }
 
+    /// The compaction residual for `ov` — the fragment indices this FS
+    /// held when the superseded, settled-AMR version was collapsed to an
+    /// O(1) record — if `ov` has been compacted.
+    pub fn compacted_residual(&self, ov: ObjectVersion) -> Option<FragMask> {
+        self.store.residual(ov)
+    }
+
+    /// Number of versions this FS has compacted to residual records.
+    pub fn compacted_count(&self) -> usize {
+        self.store.compacted_count()
+    }
+
+    /// Versions this FS has compacted, in object-version order.
+    pub fn compacted_versions(&self) -> impl Iterator<Item = ObjectVersion> + '_ {
+        self.store.compacted_versions()
+    }
+
     // ---- fault injection (harness API) ----
 
     /// Silently corrupts a stored fragment by flipping one payload byte
@@ -761,7 +1036,11 @@ impl Fs {
         let versions: Vec<ObjectVersion> = self.store.known_versions().collect();
         for ov in versions {
             let doomed: Vec<FragmentIndex> = {
-                let entry = self.store.entry(ov).expect("listed");
+                // Compacted residuals hold no bytes, so a dead disk
+                // cannot lose them.
+                let Some(entry) = self.store.entry(ov) else {
+                    continue;
+                };
                 entry
                     .meta
                     .assignments()
@@ -808,8 +1087,10 @@ impl Fs {
             // allocation on the (usually clean) scrub walk.
             let mut bad = FragMask::new();
             {
-                // lint:allow(panic-path): ov comes from this round's collect_known listing
-                let entry = self.store.entry_at_mut(ov, hint).expect("listed");
+                // Compacted residuals hold no fragments to verify.
+                let Some(entry) = self.store.entry_at_mut(ov, hint) else {
+                    continue;
+                };
                 for (&idx, frag) in &entry.fragments {
                     if !entry
                         .checksums
@@ -893,11 +1174,16 @@ impl Fs {
     ) -> bool {
         let now = ctx.now();
         let mode = self.mode;
-        let (entry, _inserted) = self.store.entry_or_insert_with(ov, now, || FragEntry {
+        let Some((entry, _inserted)) = self.store.entry_or_insert_with(ov, now, || FragEntry {
             meta: mode.share(meta),
             fragments: BTreeMap::new(),
             checksums: BTreeMap::new(),
-        });
+        }) else {
+            // Compacted: the version is settled AMR with complete
+            // metadata, so a full store's merge would be a no-op and
+            // the settled branch below would skip scheduling anyway.
+            return false;
+        };
         let changed = if mode.share_metadata {
             Metadata::merge_shared(&mut entry.meta, meta)
         } else {
@@ -917,6 +1203,7 @@ impl Fs {
     /// Marks `ov` AMR: drop convergence work, optionally broadcast FS AMR
     /// indications.
     fn finalize_amr(&mut self, ctx: &mut Context<'_, Message>, ov: ObjectVersion, indicate: bool) {
+        let newly_settled = self.store.amr_at(ov).is_none();
         if let Some(work) = self.store.settle_amr(ov, ctx.now()) {
             if let Some(rec) = work.recovery {
                 self.cancel_recovery_timers(ctx, &rec);
@@ -938,6 +1225,17 @@ impl Fs {
                     self.send_amr_indication(ctx, fs, ov, share);
                 }
             }
+        }
+        // A newly settled AMR version supersedes every older settled
+        // version of the same key: collapse those to residual records.
+        // Pure local bookkeeping — no messages, timers, or RNG draws —
+        // so replay digests are unchanged. Gated on the first settle
+        // (re-indications re-stamp the AMR time but open no new
+        // compaction opportunity), which with the incremental walk in
+        // [`VersionStore::compact_superseded`] keeps hot-key settles
+        // amortized O(1).
+        if self.mode.compact_converged && newly_settled {
+            self.store.compact_superseded(ov);
         }
     }
 
@@ -1439,12 +1737,15 @@ impl Fs {
         fragment: Fragment,
     ) {
         self.adopt(ctx, ov, meta);
-        // lint:allow(panic-path): adopt just stored this version
-        let entry = self.store.entry_mut(ov).expect("adopted");
-        let idx = fragment.index();
-        if !entry.fragments.contains_key(&idx) {
-            entry.checksums.insert(idx, Checksum::of(fragment.data()));
-            entry.fragments.insert(idx, fragment);
+        // Compacted versions accept no bytes; a full store would treat
+        // this as a duplicate of a fragment it already holds — in both
+        // cases the store is unchanged and note_progress still runs.
+        if let Some(entry) = self.store.entry_mut(ov) {
+            let idx = fragment.index();
+            if !entry.fragments.contains_key(&idx) {
+                entry.checksums.insert(idx, Checksum::of(fragment.data()));
+                entry.fragments.insert(idx, fragment);
+            }
         }
         self.note_progress(ctx, ov);
     }
@@ -1473,13 +1774,24 @@ impl Fs {
                 self.recovery_cancelled(ctx, ov, op);
             }
         }
-        // lint:allow(panic-path): adopt just stored this version
-        let entry = self.store.entry(ov).expect("adopted");
-        let have: Vec<FragmentIndex> = entry.fragments.keys().copied().collect();
-        let missing: Vec<FragmentIndex> = if entry.meta.is_complete() {
-            Self::missing_mask(entry, me).iter().collect()
-        } else {
-            Vec::new()
+        let (have, missing): (Vec<FragmentIndex>, Vec<FragmentIndex>) = match self.store.entry(ov) {
+            Some(entry) => {
+                let have = entry.fragments.keys().copied().collect();
+                let missing = if entry.meta.is_complete() {
+                    Self::missing_mask(entry, me).iter().collect()
+                } else {
+                    Vec::new()
+                };
+                (have, missing)
+            }
+            None => {
+                // Compacted: the residual mask is exactly the fragment
+                // set the full store would report, and a verified AMR
+                // version misses nothing — the reply is byte-identical.
+                // lint:allow(panic-path): adopt stores any non-compacted version
+                let held = self.store.residual(ov).expect("compacted");
+                (held.iter().collect(), Vec::new())
+            }
         };
         let verified = self.verified(ov);
         let recovering = self.store.work(ov).is_some_and(|w| w.recovery.is_some());
@@ -1526,8 +1838,8 @@ impl Actor<Message> for Fs {
                 // Proxy location update for a fragment we already hold
                 // (second wave of the put, §5.2).
                 self.adopt(ctx, ov, &meta);
-                // lint:allow(panic-path): adopt just stored this version
-                let complete = self.store.entry(ov).expect("adopted").meta.is_complete();
+                // Compacted versions settled with complete metadata.
+                let complete = self.store.entry(ov).is_none_or(|e| e.meta.is_complete());
                 ctx.send(from, Message::StoreMetadataReply { ov, complete });
             }
 

@@ -61,8 +61,8 @@ pub use messages::Message;
 pub use metadata::{Location, Metadata};
 pub use policy::Policy;
 pub use protocol::{
-    batched_rounds, reference_protocol_mode, set_batched_rounds, set_reference_protocol_mode,
-    ProtocolMode,
+    batched_rounds, compaction, flat_store, reference_protocol_mode, set_batched_rounds,
+    set_compaction, set_flat_store, set_reference_protocol_mode, ProtocolMode,
 };
 pub use types::{Key, ObjectVersion, Timestamp};
 

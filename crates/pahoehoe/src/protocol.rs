@@ -45,6 +45,14 @@ static REFERENCE_PROTOCOL_MODE: AtomicBool = AtomicBool::new(false);
 /// [`set_batched_rounds`].
 static BATCH_ROUNDS: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide default for `shard_store = false`; see
+/// [`set_flat_store`].
+static FLAT_STORE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide default for `compact_converged = true`; see
+/// [`set_compaction`].
+static COMPACT_CONVERGED: AtomicBool = AtomicBool::new(false);
+
 /// Switches every *subsequently constructed* protocol actor to the
 /// pre-optimization metadata handling: a deep [`Metadata`] copy on every
 /// share, exactly the seed's clone-per-send cost. Mirrors
@@ -73,6 +81,35 @@ pub fn batched_rounds() -> bool {
     BATCH_ROUNDS.load(Ordering::Relaxed)
 }
 
+/// Switches every *subsequently constructed* fragment server back to the
+/// flat (unsharded) per-FS version index, the pre-scale-tier layout kept
+/// as the differential oracle for the sharded store. Off by default.
+pub fn set_flat_store(enabled: bool) {
+    FLAT_STORE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`set_flat_store`] is on.
+pub fn flat_store() -> bool {
+    FLAT_STORE.load(Ordering::Relaxed)
+}
+
+/// Enables converged-version compaction for every *subsequently
+/// constructed* fragment server: once a version is settled AMR locally
+/// *and* a strictly newer version of the same key is also settled AMR
+/// locally, the version's fragment bytes, checksums and metadata handle
+/// are released, leaving an O(1) residual record. Off by default so the
+/// paper-faithful sweeps keep full per-version state (and the
+/// durable-monotone invariant, which compaction deliberately relaxes for
+/// superseded versions, stays exact).
+pub fn set_compaction(enabled: bool) {
+    COMPACT_CONVERGED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`set_compaction`] is on.
+pub fn compaction() -> bool {
+    COMPACT_CONVERGED.load(Ordering::Relaxed)
+}
+
 /// The protocol-layer optimization switches an actor runs with, captured
 /// once at construction so parallel tests can pin a mode per cluster
 /// without racing on the process-wide defaults.
@@ -84,23 +121,38 @@ pub struct ProtocolMode {
     /// Coalesce each convergence round's per-destination traffic into
     /// multi-entry messages (accounting only; see module docs).
     pub batch_rounds: bool,
+    /// Key-shard the per-FS version index (`true`, the default): lookups
+    /// hash the key into a fixed power-of-two shard array so a per-key
+    /// operation touches one small map. `false` keeps the flat map as the
+    /// differential oracle.
+    pub shard_store: bool,
+    /// Release the state of durably converged, superseded versions down
+    /// to an O(1) residual record (see [`set_compaction`]). Off by
+    /// default; scale runs opt in.
+    pub compact_converged: bool,
 }
 
 impl ProtocolMode {
-    /// The optimized default: shared metadata, unbatched accounting (the
-    /// paper-faithful per-message figures).
+    /// The optimized default: shared metadata, sharded store, unbatched
+    /// accounting (the paper-faithful per-message figures), no
+    /// compaction.
     pub const fn optimized() -> Self {
         ProtocolMode {
             share_metadata: true,
             batch_rounds: false,
+            shard_store: true,
+            compact_converged: false,
         }
     }
 
-    /// The pre-optimization reference: deep-copied metadata, unbatched.
+    /// The pre-optimization reference: deep-copied metadata, flat
+    /// unsharded store, unbatched, no compaction.
     pub const fn reference() -> Self {
         ProtocolMode {
             share_metadata: false,
             batch_rounds: false,
+            shard_store: false,
+            compact_converged: false,
         }
     }
 
@@ -109,6 +161,20 @@ impl ProtocolMode {
         ProtocolMode {
             share_metadata: true,
             batch_rounds: true,
+            shard_store: true,
+            compact_converged: false,
+        }
+    }
+
+    /// The scale tier: every optimization on, including converged-version
+    /// compaction (which the default sweeps leave off; see
+    /// [`set_compaction`]).
+    pub const fn scale() -> Self {
+        ProtocolMode {
+            share_metadata: true,
+            batch_rounds: false,
+            shard_store: true,
+            compact_converged: true,
         }
     }
 
@@ -118,6 +184,8 @@ impl ProtocolMode {
         ProtocolMode {
             share_metadata: !reference_protocol_mode(),
             batch_rounds: batched_rounds(),
+            shard_store: !flat_store(),
+            compact_converged: compaction(),
         }
     }
 
@@ -220,9 +288,19 @@ mod tests {
         assert_eq!(ProtocolMode::default(), ProtocolMode::optimized());
         assert!(ProtocolMode::optimized().share_metadata);
         assert!(!ProtocolMode::optimized().batch_rounds);
+        assert!(ProtocolMode::optimized().shard_store);
+        assert!(!ProtocolMode::optimized().compact_converged);
         assert!(!ProtocolMode::reference().share_metadata);
+        assert!(!ProtocolMode::reference().shard_store);
         assert!(ProtocolMode::batched().batch_rounds);
+        assert!(ProtocolMode::scale().compact_converged);
+        assert!(ProtocolMode::scale().shard_store);
     }
+
+    // The process-wide `set_flat_store` / `set_compaction` switches are
+    // exercised in `tests/store_switches.rs`, a dedicated integration
+    // binary, so toggling them can never race another test's
+    // `ProtocolMode::current()` capture.
 
     #[test]
     fn share_bumps_or_copies() {

@@ -63,6 +63,16 @@ pub struct Timestamp {
 }
 
 impl Timestamp {
+    /// The smallest timestamp; `ObjectVersion::new(key, Timestamp::MIN)`
+    /// lower-bounds every version of `key` in ordered scans.
+    pub const MIN: Timestamp = Timestamp { clock: 0, proxy: 0 };
+
+    /// The largest timestamp; upper bound for per-key ordered scans.
+    pub const MAX: Timestamp = Timestamp {
+        clock: u64::MAX,
+        proxy: u32::MAX,
+    };
+
     /// Builds a timestamp from a proxy clock reading and proxy id.
     pub fn new(clock: SimTime, proxy: u32) -> Self {
         Timestamp {
@@ -121,6 +131,15 @@ mod tests {
         assert_eq!(Key::from_name(b"photo"), Key::from_name(b"photo"));
         assert_ne!(Key::from_name(b"photo"), Key::from_name(b"photos"));
         assert_eq!(Key::from_u64(7).as_u64(), 7);
+    }
+
+    #[test]
+    fn timestamp_min_max_bound_every_value() {
+        let t = Timestamp::new(SimTime::from_micros(123), 9);
+        assert!(Timestamp::MIN <= t && t <= Timestamp::MAX);
+        let k = Key::from_u64(5);
+        assert!(ObjectVersion::new(k, Timestamp::MIN) <= ObjectVersion::new(k, t));
+        assert!(ObjectVersion::new(k, t) <= ObjectVersion::new(k, Timestamp::MAX));
     }
 
     #[test]

@@ -163,6 +163,138 @@ impl SplitMix {
     }
 }
 
+/// Stateless splitmix64 finalizer: a high-quality 64-bit mix of `x`.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Key-popularity distribution for [`StreamingWorkload`]s.
+///
+/// Real key-value traffic is heavily skewed — a few hot keys take most of
+/// the writes — which is exactly the regime where superseded-version
+/// residue dominates fragment-server memory. Every distribution here maps
+/// a put index to a *popularity rank* in `1..=key_space` with O(1) work
+/// and no per-key state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Put `i` writes rank `i % key_space + 1`: every key exactly once
+    /// when `puts == key_space` (the insert-only scale shape).
+    Sequential,
+    /// Ranks uniform in `1..=key_space`.
+    Uniform,
+    /// Zipf-distributed ranks: rank `r` is written proportionally to
+    /// `r^-exponent`, sampled in O(1) by inverting the continuous
+    /// approximation of the Zipf CDF.
+    Zipf {
+        /// The skew exponent `s > 0` (web caches are typically ~0.9–1.1).
+        exponent: f64,
+    },
+    /// `hot_permille`/1000 of the puts hit one of the first `hot_keys`
+    /// ranks uniformly; the rest spread uniformly over the whole space.
+    HotKey {
+        /// Size of the hot set.
+        hot_keys: u64,
+        /// Fraction of puts (in 1/1000) aimed at the hot set.
+        hot_permille: u16,
+    },
+}
+
+/// A constant-memory workload stream: `op_at(i)` synthesizes the `i`-th
+/// put from `(seed, i)` alone, so a million-key workload costs no more
+/// resident memory than a ten-key one — no key vector, no value table.
+///
+/// Keys are fingerprints of the sampled popularity rank, so key
+/// popularity follows the configured distribution while the key *values*
+/// spread uniformly over the 64-bit space (shard-friendly). Values follow
+/// the standard-workload convention — the blob for key `k` is
+/// [`Client::synthetic_value`]`(k - 1, value_len)` — so the durability
+/// invariants can reconstruct any expected blob from the key alone.
+///
+/// ```
+/// use pahoehoe::workload::{KeyDistribution, StreamingWorkload};
+///
+/// let wl = StreamingWorkload {
+///     puts: 1_000_000,
+///     key_space: 1_000_000,
+///     value_len: 64,
+///     policy: pahoehoe::Policy::paper_default(),
+///     seed: 42,
+///     dist: KeyDistribution::Zipf { exponent: 0.99 },
+/// };
+/// assert_eq!(wl.key_at(7), wl.key_at(7)); // pure function of (seed, index)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingWorkload {
+    /// Total number of puts in the stream.
+    pub puts: u64,
+    /// Number of distinct keys the stream draws from.
+    pub key_space: u64,
+    /// Value length of every put.
+    pub value_len: usize,
+    /// Durability policy of every put.
+    pub policy: Policy,
+    /// Stream seed: ranks, and therefore keys, derive from `(seed, i)`.
+    pub seed: u64,
+    /// Key-popularity shape.
+    pub dist: KeyDistribution,
+}
+
+impl StreamingWorkload {
+    /// The popularity rank (`1..=key_space`) put `i` writes.
+    pub fn rank_at(&self, i: u64) -> u64 {
+        let n = self.key_space.max(1);
+        let draw = mix64(self.seed ^ mix64(i));
+        match self.dist {
+            KeyDistribution::Sequential => i % n + 1,
+            KeyDistribution::Uniform => draw % n + 1,
+            KeyDistribution::Zipf { exponent } => {
+                // Invert the continuous Zipf CDF: for s != 1 the mass below
+                // rank x is ~ (x^(1-s) - 1) / (N^(1-s) - 1); for s = 1 it
+                // is ~ ln(x) / ln(N). Deterministic for a fixed build.
+                let u = (draw >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                let nf = n as f64;
+                let s = exponent;
+                let x = if (s - 1.0).abs() < 1e-9 {
+                    nf.powf(u)
+                } else {
+                    (1.0 + u * (nf.powf(1.0 - s) - 1.0)).powf(1.0 / (1.0 - s))
+                };
+                (x as u64).clamp(1, n)
+            }
+            KeyDistribution::HotKey {
+                hot_keys,
+                hot_permille,
+            } => {
+                let hot = hot_keys.clamp(1, n);
+                if draw % 1000 < u64::from(hot_permille) {
+                    mix64(draw) % hot + 1
+                } else {
+                    mix64(draw) % n + 1
+                }
+            }
+        }
+    }
+
+    /// The key put `i` writes: a 64-bit fingerprint of its rank (uniform
+    /// over the key space regardless of the popularity shape).
+    pub fn key_at(&self, i: u64) -> Key {
+        Key::from_u64(mix64(self.seed ^ self.rank_at(i)) | 1)
+    }
+
+    /// Synthesizes put `i` — value bytes included — in O(`value_len`).
+    pub fn op_at(&self, i: u64) -> ClientOp {
+        let key = self.key_at(i);
+        ClientOp::Put {
+            key,
+            value: Client::synthetic_value(key.as_u64().wrapping_sub(1), self.value_len),
+            policy: self.policy,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +370,97 @@ mod tests {
         let _ = Workload::new(1)
             .sizes(SizeDistribution::Uniform { min: 5, max: 1 })
             .build();
+    }
+
+    fn stream(dist: KeyDistribution) -> StreamingWorkload {
+        StreamingWorkload {
+            puts: 10_000,
+            key_space: 1_000,
+            value_len: 32,
+            policy: Policy::paper_default(),
+            seed: 42,
+            dist,
+        }
+    }
+
+    #[test]
+    fn streaming_ops_are_pure_functions_of_seed_and_index() {
+        let wl = stream(KeyDistribution::Zipf { exponent: 0.99 });
+        for i in [0, 1, 7, 9_999] {
+            assert_eq!(wl.key_at(i), wl.key_at(i));
+        }
+        let mut other = wl.clone();
+        other.seed = 43;
+        let same = (0..100)
+            .filter(|&i| wl.key_at(i) == other.key_at(i))
+            .count();
+        assert!(same < 100, "different seeds must reshuffle keys");
+    }
+
+    #[test]
+    fn streaming_values_follow_the_standard_convention() {
+        let wl = stream(KeyDistribution::Uniform);
+        let ClientOp::Put { key, value, .. } = wl.op_at(5) else {
+            panic!("streams are puts")
+        };
+        assert_eq!(
+            value,
+            Client::synthetic_value(key.as_u64().wrapping_sub(1), 32),
+            "durability invariants reconstruct blobs from the key alone"
+        );
+    }
+
+    #[test]
+    fn sequential_stream_covers_the_key_space_exactly() {
+        let mut wl = stream(KeyDistribution::Sequential);
+        wl.puts = wl.key_space;
+        let keys: std::collections::BTreeSet<Key> = (0..wl.puts).map(|i| wl.key_at(i)).collect();
+        assert_eq!(keys.len() as u64, wl.key_space);
+    }
+
+    #[test]
+    fn zipf_stream_is_head_heavy() {
+        let wl = stream(KeyDistribution::Zipf { exponent: 0.99 });
+        let mut hits = vec![0u64; 1_001];
+        for i in 0..wl.puts {
+            hits[wl.rank_at(i) as usize] += 1;
+        }
+        let head: u64 = hits[1..=10].iter().sum();
+        assert!(
+            head * 5 > wl.puts,
+            "top-10 ranks should take >20% of a Zipf(0.99) stream, got {head}"
+        );
+        assert!(hits[1] > hits[500], "rank 1 beats the tail");
+    }
+
+    #[test]
+    fn hot_key_stream_respects_the_hot_fraction() {
+        let wl = stream(KeyDistribution::HotKey {
+            hot_keys: 10,
+            hot_permille: 900,
+        });
+        let hot = (0..wl.puts).filter(|&i| wl.rank_at(i) <= 10).count() as f64;
+        let frac = hot / wl.puts as f64;
+        assert!((0.85..=0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn streaming_ranks_stay_in_range() {
+        for dist in [
+            KeyDistribution::Sequential,
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf { exponent: 1.0 },
+            KeyDistribution::Zipf { exponent: 1.2 },
+            KeyDistribution::HotKey {
+                hot_keys: 3,
+                hot_permille: 500,
+            },
+        ] {
+            let wl = stream(dist);
+            for i in 0..2_000 {
+                let r = wl.rank_at(i);
+                assert!((1..=wl.key_space).contains(&r), "{dist:?}: rank {r}");
+            }
+        }
     }
 }

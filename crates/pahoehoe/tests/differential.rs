@@ -14,6 +14,7 @@ use pahoehoe::convergence::ConvergenceOptions;
 use pahoehoe::fs::Fs;
 use pahoehoe::kls::Kls;
 use pahoehoe::protocol::ProtocolMode;
+use pahoehoe::workload::{KeyDistribution, StreamingWorkload};
 use proptest::prelude::*;
 use simnet::{FaultPlan, NetworkConfig, RunOutcome, SimDuration, SimTime};
 
@@ -258,5 +259,260 @@ fn batching_reduces_physical_messages_and_bytes() {
         u_bytes - b_bytes,
         headers_saved * pahoehoe::messages::HEADER_BYTES as u64,
         "byte savings are exactly the amortized headers"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The key-sharded per-FS version index against the flat single-shard
+    /// map: sharding only changes *where* an index entry lives, so every
+    /// observable — outcome, event sequence, final state, physical
+    /// message accounting — must match exactly.
+    #[test]
+    fn sharded_store_is_invisible(sc in scenario_strategy()) {
+        let sharded = run(&sc, ProtocolMode::optimized());
+        let flat = run(
+            &sc,
+            ProtocolMode {
+                shard_store: false,
+                ..ProtocolMode::optimized()
+            },
+        );
+        prop_assert_eq!(&sharded, &flat);
+    }
+}
+
+/// Runs an update-heavy streamed workload — a small key space cycled
+/// sequentially, so most puts supersede an earlier version of the same
+/// key — and returns the cluster for in-place inspection. Compacting
+/// runs cannot be rendered by [`state_digest`], which expects a full
+/// [`FragEntry`](pahoehoe::fs::FragEntry) for every known version.
+fn run_update_heavy(
+    sc: &Scenario,
+    key_space: u64,
+    puts: u64,
+    mode: ProtocolMode,
+) -> (Cluster, RunOutcome) {
+    let layout = ClusterLayout {
+        dcs: 2,
+        kls_per_dc: 2,
+        fs_per_dc: 3,
+    };
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.layout = layout;
+    cfg.protocol = mode;
+    cfg.workload_value_len = sc.value_len;
+    cfg.streaming_workload = Some(StreamingWorkload {
+        puts,
+        key_space,
+        value_len: sc.value_len,
+        policy: cfg.policy,
+        seed: sc.seed,
+        dist: KeyDistribution::Sequential,
+    });
+    cfg.convergence = if sc.naive {
+        ConvergenceOptions::naive()
+    } else {
+        ConvergenceOptions::all()
+    };
+    cfg.network = NetworkConfig {
+        drop_rate: f64::from(sc.drop_pct) / 100.0,
+        duplicate_rate: f64::from(sc.dup_pct) / 100.0,
+        ..NetworkConfig::paper_default()
+    };
+    let mut faults = FaultPlan::none();
+    for &(node, start, dur) in &sc.outages {
+        faults.add_node_outage(
+            simnet::NodeId::new(node),
+            SimTime::ZERO + SimDuration::from_secs(start),
+            SimDuration::from_secs(dur),
+        );
+    }
+    let mut cluster = Cluster::build_with_faults(cfg, sc.seed, faults);
+    let outcome = cluster.run_to_convergence().outcome;
+    (cluster, outcome)
+}
+
+/// Asserts the compacting run is observationally equivalent to the full
+/// run: identical KLS tables, identical per-FS classification sets and
+/// settle times, byte-identical entries for every uncompacted version,
+/// and for each compacted version a residual mask recording exactly the
+/// fragments the full store still holds. Returns the number of
+/// compacted store entries seen (a superseded version compacts once per
+/// FS that held it).
+fn assert_compaction_invisible(full: &Cluster, compact: &Cluster) -> usize {
+    let topo = full.topology().clone();
+    for id in topo.all_klss() {
+        let f: &Kls = full.sim().actor(id);
+        let c: &Kls = compact.sim().actor(id);
+        let mut f_ovs: Vec<_> = f.known_versions().collect();
+        let mut c_ovs: Vec<_> = c.known_versions().collect();
+        f_ovs.sort();
+        c_ovs.sort();
+        assert_eq!(f_ovs, c_ovs, "KLS {id:?} knows the same versions");
+        for ov in f_ovs {
+            assert_eq!(
+                format!("{:?}", f.meta(ov)),
+                format!("{:?}", c.meta(ov)),
+                "KLS {id:?} metadata for {ov:?} is untouched by compaction"
+            );
+        }
+    }
+
+    let sorted = |it: Box<dyn Iterator<Item = pahoehoe::types::ObjectVersion> + '_>| {
+        let mut v: Vec<_> = it.collect();
+        v.sort();
+        v
+    };
+    let mut compacted_entries = 0usize;
+    for id in topo.all_fss() {
+        let f: &Fs = full.sim().actor(id);
+        let c: &Fs = compact.sim().actor(id);
+        let known = sorted(Box::new(f.known_versions()));
+        assert_eq!(
+            known,
+            sorted(Box::new(c.known_versions())),
+            "FS {id:?} knows the same versions"
+        );
+        assert_eq!(
+            sorted(Box::new(f.amr_versions())),
+            sorted(Box::new(c.amr_versions())),
+            "FS {id:?} AMR sets match"
+        );
+        assert_eq!(
+            sorted(Box::new(f.pending_versions())),
+            sorted(Box::new(c.pending_versions())),
+            "FS {id:?} pending sets match"
+        );
+        assert_eq!(
+            sorted(Box::new(f.gave_up_versions())),
+            sorted(Box::new(c.gave_up_versions())),
+            "FS {id:?} gave-up sets match"
+        );
+        for ov in known {
+            assert_eq!(
+                f.amr_settled_at(ov),
+                c.amr_settled_at(ov),
+                "FS {id:?} settle time for {ov:?} matches"
+            );
+            assert_eq!(
+                f.verified(ov),
+                c.verified(ov),
+                "FS {id:?} verification for {ov:?} matches"
+            );
+            match c.compacted_residual(ov) {
+                Some(mask) => {
+                    compacted_entries += 1;
+                    assert!(
+                        c.amr_settled_at(ov).is_some(),
+                        "only settled-AMR versions compact ({ov:?})"
+                    );
+                    assert!(
+                        c.entry(ov).is_none(),
+                        "compacted slot for {ov:?} released its full entry"
+                    );
+                    let entry = f.entry(ov).expect("full run keeps the entry");
+                    let held: Vec<_> = mask.iter().collect();
+                    let full_held: Vec<_> = entry.fragments.keys().copied().collect();
+                    assert_eq!(
+                        held, full_held,
+                        "FS {id:?} residual for {ov:?} records exactly the fragments held"
+                    );
+                }
+                None => {
+                    assert_eq!(
+                        format!("{:?}", f.entry(ov)),
+                        format!("{:?}", c.entry(ov)),
+                        "FS {id:?} uncompacted entry for {ov:?} is byte-identical"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            c.compacted_count(),
+            sorted(Box::new(c.compacted_versions())).len(),
+            "FS {id:?} compacted count matches its residual listing"
+        );
+    }
+    compacted_entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Converged-version compaction against the full store on an
+    /// update-heavy stream: on a clean network compaction is pure local
+    /// bookkeeping, so the outcome, event sequence, virtual clock,
+    /// per-kind logical entry counts, KLS tables and every per-FS
+    /// observable must match — with superseded settled versions allowed
+    /// to collapse to residuals that mirror the full store's fragment
+    /// sets. (Under faults the stores legitimately diverge: a residual
+    /// still answers verification queries, but its released fragments
+    /// can no longer feed a straggling sibling's recovery, and late
+    /// duplicate fragment pushes are dropped instead of stored — so the
+    /// strict event-level claim is scoped to fault-free runs.)
+    #[test]
+    fn compaction_is_invisible(
+        sc in scenario_strategy(),
+        key_space in 1u64..4,
+        puts in 4u64..13,
+    ) {
+        let sc = Scenario {
+            drop_pct: 0,
+            dup_pct: 0,
+            outages: Vec::new(),
+            ..sc
+        };
+        let (full, full_outcome) = run_update_heavy(&sc, key_space, puts, ProtocolMode::optimized());
+        let (compact, compact_outcome) = run_update_heavy(&sc, key_space, puts, ProtocolMode::scale());
+        prop_assert_eq!(full_outcome, compact_outcome);
+        prop_assert_eq!(
+            full.sim().events_processed(),
+            compact.sim().events_processed()
+        );
+        prop_assert_eq!(full.sim().now(), compact.sim().now());
+        let entries = |c: &Cluster| -> Vec<(&'static str, u64)> {
+            c.sim()
+                .metrics()
+                .registry()
+                .iter()
+                .map(|&k| (k, c.sim().metrics().entries_for(k)))
+                .collect()
+        };
+        prop_assert_eq!(entries(&full), entries(&compact));
+        assert_compaction_invisible(&full, &compact);
+    }
+}
+
+/// A clean-network scripted run where every put supersedes the single
+/// key: the scale mode must compact each superseded version on every FS
+/// that held its fragments, while staying observationally equivalent to
+/// the full store.
+#[test]
+fn compaction_collapses_superseded_versions_invisibly() {
+    let sc = Scenario {
+        seed: 7,
+        puts: 0,
+        value_len: 4096,
+        drop_pct: 0,
+        dup_pct: 0,
+        naive: false,
+        outages: Vec::new(),
+    };
+    let (full, full_outcome) = run_update_heavy(&sc, 1, 8, ProtocolMode::optimized());
+    let (compact, compact_outcome) = run_update_heavy(&sc, 1, 8, ProtocolMode::scale());
+    assert_eq!(full_outcome, compact_outcome);
+    assert_eq!(
+        full.sim().events_processed(),
+        compact.sim().events_processed(),
+        "compaction is event-neutral"
+    );
+    let compacted = assert_compaction_invisible(&full, &compact);
+    // 8 puts to one key leave 7 superseded versions, each compacted on
+    // every FS that held fragments of it.
+    assert!(
+        compacted >= 7,
+        "each superseded version compacted somewhere (got {compacted} entries)"
     );
 }

@@ -1,0 +1,234 @@
+//! Constant-memory quantile estimation (the P² algorithm).
+//!
+//! The scale harness observes millions of per-put latencies; sorting them
+//! for [`percentile`](crate::percentile) would cost O(n) memory — exactly
+//! what the harness must not do. [`StreamingQuantile`] keeps the five
+//! marker positions of Jain & Chlamtac's P² algorithm instead: O(1)
+//! memory, one parabolic-interpolation update per observation, and an
+//! estimate that converges to the true quantile for stationary inputs.
+
+/// A P² estimator for one quantile `q` in `(0, 1)`.
+///
+/// ```
+/// use stats::StreamingQuantile;
+///
+/// let mut p95 = StreamingQuantile::new(0.95);
+/// for i in 1..=10_000 {
+///     p95.observe(f64::from(i));
+/// }
+/// let est = p95.estimate().unwrap();
+/// assert!((est - 9_500.0).abs() < 100.0, "{est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingQuantile {
+    q: f64,
+    /// Marker heights (the first five observations, then P² estimates).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl StreamingQuantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        StreamingQuantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn observe(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observations must not be NaN");
+        self.count += 1;
+        let n = self.count as usize;
+        if n <= 5 {
+            self.heights[n - 1] = x;
+            if n == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            }
+            return;
+        }
+
+        // Find the marker cell containing x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k + 1]
+            (1..4).find(|&i| x < self.heights[i]).unwrap_or(4) - 1
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Nudge the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (delta >= 1.0 && ahead > 1.0) || (delta <= -1.0 && behind < -1.0) {
+                let d = delta.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// P²'s piecewise-parabolic height prediction for marker `i` moved by
+    /// `d` (±1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola leaves the bracketing heights.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// The current estimate, or `None` before any observation. Exact
+    /// while fewer than five observations have been seen.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut seen = self.heights;
+                let seen = &mut seen[..n as usize];
+                seen.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                let rank = self.q * (seen.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                Some(seen[lo] + (rank - lo as f64) * (seen[hi] - seen[lo]))
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream (splitmix64 → uniform [0,1)).
+    fn uniform_stream(seed: u64, n: usize) -> impl Iterator<Item = f64> {
+        let mut state = seed;
+        std::iter::repeat_with(move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .take(n)
+    }
+
+    #[test]
+    fn empty_estimator_has_no_estimate() {
+        assert_eq!(StreamingQuantile::new(0.5).estimate(), None);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut med = StreamingQuantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            med.observe(x);
+        }
+        assert_eq!(med.estimate(), Some(3.0));
+    }
+
+    #[test]
+    fn converges_on_uniform_data() {
+        for (q, expected) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let mut est = StreamingQuantile::new(q);
+            for x in uniform_stream(7, 200_000) {
+                est.observe(x);
+            }
+            let got = est.estimate().unwrap();
+            assert!((got - expected).abs() < 0.01, "q={q}: {got}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_percentile_on_a_replayable_stream() {
+        let xs: Vec<f64> = uniform_stream(42, 50_000).map(|x| x * 100.0).collect();
+        let mut p95 = StreamingQuantile::new(0.95);
+        for &x in &xs {
+            p95.observe(x);
+        }
+        let exact = crate::percentile(&xs, 95.0).unwrap();
+        let streamed = p95.estimate().unwrap();
+        assert!(
+            (streamed - exact).abs() < 1.0,
+            "streamed {streamed} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn tracks_shifted_distributions() {
+        let mut med = StreamingQuantile::new(0.5);
+        for x in uniform_stream(3, 100_000) {
+            med.observe(1000.0 + x);
+        }
+        let got = med.estimate().unwrap();
+        assert!((got - 1000.5).abs() < 0.01, "{got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be")]
+    fn out_of_range_quantile_panics() {
+        let _ = StreamingQuantile::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_observation_panics() {
+        StreamingQuantile::new(0.5).observe(f64::NAN);
+    }
+}

@@ -20,18 +20,18 @@ cargo run -p check --bin lint
 echo "==> semantic analyzer (workspace must be clean)"
 cargo run -p check --release --bin analyze
 
-echo "==> mutation smoke (pinned 10 mutants, kill-rate gate >= 8/10)"
+echo "==> mutation smoke (pinned 11 mutants, kill-rate gate >= 9/11)"
 # Surviving mutants print their diff; the binary exits 1 below the gate.
 cargo run -p check --release --bin mutate -- --smoke --bench-out BENCH_analysis.json
 python3 -m json.tool BENCH_analysis.json > /dev/null
 
-echo "==> invariant explorer (smoke sweep, sequential)"
-cargo run -p check --release --bin explore -- --smoke --digest-out target/digest-seq.txt
+echo "==> invariant explorer (smoke sweep, sequential, + scale spot check)"
+cargo run -p check --release --bin explore -- --smoke --scale --digest-out target/digest-seq.txt
 
 echo "==> invariant explorer (smoke sweep, parallel harness)"
-cargo run -p check --release --bin explore -- --smoke --workers 2 --digest-out target/digest-par.txt
+cargo run -p check --release --bin explore -- --smoke --scale --workers 2 --digest-out target/digest-par.txt
 cmp target/digest-seq.txt target/digest-par.txt
-echo "    parallel sweep digest is byte-identical to sequential"
+echo "    parallel sweep digest (incl. scale line) is byte-identical to sequential"
 
 echo "==> invariant explorer (smoke sweep, batched protocol rounds)"
 cargo run -p check --release --bin explore -- --smoke --protocol batched
@@ -42,5 +42,15 @@ python3 -m json.tool BENCH_codec.json > /dev/null
 python3 -m json.tool BENCH_engine.json > /dev/null
 python3 -m json.tool BENCH_convergence.json > /dev/null
 python3 -m json.tool BENCH_protocol.json > /dev/null
+
+echo "==> bench scale (smoke)"
+cargo run -p bench --release --bin scale -- --smoke
+python3 -m json.tool BENCH_scale.json > /dev/null
+
+echo "==> bench schema versions"
+for f in BENCH_*.json; do
+    grep -q '"schema_version"' "$f" || { echo "    $f missing schema_version"; exit 1; }
+done
+echo "    every BENCH_*.json carries a schema_version"
 
 echo "CI green."
