@@ -57,6 +57,9 @@ struct Cell {
     dist: KeyDistribution,
     compact: bool,
     seed: u64,
+    /// Per-put overwrite correlation (1/1000 of bytes rewritten at a
+    /// fixed per-key offset); 0 = the standard key-derived blobs.
+    overwrite_delta_permille: u16,
 }
 
 impl Cell {
@@ -110,6 +113,8 @@ impl Cell {
             if self.compact { "on" } else { "off" }.into(),
             "--seed".into(),
             self.seed.to_string(),
+            "--overwrite-permille".into(),
+            self.overwrite_delta_permille.to_string(),
         ]
     }
 }
@@ -153,6 +158,7 @@ fn run_cell(cell: &Cell) -> CellResult {
         policy: cfg.policy,
         seed: cell.seed,
         dist: cell.dist,
+        overwrite_delta_permille: cell.overwrite_delta_permille,
     });
     // A million-put stream takes tens of virtual hours; the default
     // one-day ceiling is too close for comfort.
@@ -293,6 +299,7 @@ fn grid(smoke: bool) -> Vec<Cell> {
         dist: KeyDistribution::Zipf { exponent: 1.1 },
         compact,
         seed: 42,
+        overwrite_delta_permille: 0,
     };
     if smoke {
         return vec![
@@ -311,6 +318,7 @@ fn grid(smoke: bool) -> Vec<Cell> {
                 dist: KeyDistribution::Uniform,
                 compact: true,
                 seed: 42,
+                overwrite_delta_permille: 0,
             },
         ];
     }
@@ -330,6 +338,7 @@ fn grid(smoke: bool) -> Vec<Cell> {
             dist: KeyDistribution::Uniform,
             compact: true,
             seed: 42,
+            overwrite_delta_permille: 0,
         },
         Cell {
             name: "mid-hot",
@@ -345,6 +354,7 @@ fn grid(smoke: bool) -> Vec<Cell> {
             },
             compact: true,
             seed: 42,
+            overwrite_delta_permille: 0,
         },
         Cell {
             name: "big-zipf",
@@ -357,6 +367,7 @@ fn grid(smoke: bool) -> Vec<Cell> {
             dist: KeyDistribution::Zipf { exponent: 1.1 },
             compact: true,
             seed: 42,
+            overwrite_delta_permille: 0,
         },
     ]
 }
@@ -420,6 +431,7 @@ fn parse_cell(args: &[String]) -> Cell {
         dist,
         compact: get("--compact") != Some("off"),
         seed: num("--seed", 42),
+        overwrite_delta_permille: num("--overwrite-permille", 0) as u16,
     }
 }
 

@@ -28,6 +28,12 @@
 //!   `batched` changes the traffic accounting, so its digests differ but
 //!   every invariant must still hold. Default: the process default
 //!   (optimized, unbatched);
+//! * `--delta` — switch the delta-aware multiversion codec on and run the
+//!   standard workload for **two rounds**, so every second-round put
+//!   overwrites a key and exercises the XOR-delta stripe path. Delta mode
+//!   changes the message flow (delta puts skip location decision), so its
+//!   digests differ from the default sweep's, but every invariant must
+//!   hold and the sequential and parallel digests must still match;
 //! * `--scale` — after the sweep, run the scale-tier spot check: one Zipf
 //!   streaming-workload scenario pinned to the scale protocol mode
 //!   (sharded stores + converged-version compaction) with the invariant
@@ -45,7 +51,7 @@ fn usage() -> ! {
         "usage: explore [--smoke] [--seeds N] [--puts N] [--value-len N] \
          [--inject-corruption] [--trace-out PATH] [--workers N] \
          [--digest-out PATH] [--protocol reference|optimized|batched] \
-         [--scale] [--quiet]"
+         [--delta] [--scale] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -96,6 +102,10 @@ fn main() -> ExitCode {
                 }
                 _ => usage(),
             },
+            "--delta" => {
+                pahoehoe::protocol::set_delta_coding(true);
+                cfg.workload.rounds = 2;
+            }
             "--scale" => scale = true,
             "--quiet" => quiet = true,
             _ => usage(),

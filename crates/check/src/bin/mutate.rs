@@ -4,10 +4,11 @@
 //!
 //! * `--list` — scan the workspace and print every mutation site with its
 //!   stable id (`operator:file-stem:occurrence`).
-//! * `--smoke` — run the 11 pinned protocol mutants
+//! * `--smoke` — run the 12 pinned protocol mutants
 //!   ([`check::mutate::PINNED_SMOKE`]) against the explorer smoke sweep
-//!   (plus the `--scale` spot check, whose digest line pins the
-//!   compacted-version count) and gate on the kill-rate: **≥ 9 of 11**
+//!   (run in `--delta` mode so overwrites exercise the XOR-delta stripe
+//!   path, plus the `--scale` spot check, whose digest line pins the
+//!   compacted-version count) and gate on the kill-rate: **≥ 10 of 12**
 //!   must be killed (invariant violation, digest mismatch, crash or
 //!   timeout). Surviving mutants print their source diff. Exit 1 when
 //!   the gate fails.
@@ -26,7 +27,7 @@ use std::time::{Duration, Instant};
 use check::{analysis, mutate};
 
 /// Minimum pinned mutants that must be killed for `--smoke` to pass.
-const SMOKE_KILL_GATE: usize = 9;
+const SMOKE_KILL_GATE: usize = 10;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -108,8 +109,10 @@ fn main() -> ExitCode {
     println!("preparing scratch tree + unmutated baseline sweep...");
     // `--scale` appends the scale check's digest line, which pins the
     // compacted-version count — the only observable that can kill the
-    // compaction-skip mutant.
-    let sweep_args = ["--scale".to_string()];
+    // compaction-skip mutant. `--delta` runs the sweep's workload for two
+    // rounds under delta coding, so the overwrite path (and with it the
+    // delta-resolve-skip mutant) is exercised under every invariant.
+    let sweep_args = ["--scale".to_string(), "--delta".to_string()];
     let harness = match mutate::Harness::prepare(&root, &sweep_args, timeout) {
         Ok(h) => h,
         Err(e) => {

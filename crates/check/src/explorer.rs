@@ -181,6 +181,12 @@ pub struct WorkloadCfg {
     pub puts: usize,
     /// Value length per put.
     pub value_len: usize,
+    /// Rounds of the standard workload. `1` is the historical insert-only
+    /// sweep (digests byte-identical to pre-delta builds); `2` makes every
+    /// put after the first round an overwrite, so delta-mode sweeps
+    /// actually exercise the delta encode/resolve path instead of
+    /// vacuously falling back to full stripes.
+    pub rounds: usize,
 }
 
 impl Default for WorkloadCfg {
@@ -188,6 +194,7 @@ impl Default for WorkloadCfg {
         WorkloadCfg {
             puts: 3,
             value_len: 4096,
+            rounds: 1,
         }
     }
 }
@@ -278,6 +285,7 @@ pub fn run_scenario_pinned(
     cfg.convergence = sc.preset.options();
     cfg.workload_puts = wl.puts;
     cfg.workload_value_len = wl.value_len;
+    cfg.workload_rounds = wl.rounds;
     cfg.network = sc.faults.network();
     let mut cluster = Cluster::build_with_faults(cfg, sc.seed, sc.faults.plan());
     cluster.sim_mut().enable_trace();
@@ -685,6 +693,7 @@ pub fn run_scale_check(cfg: &ScaleCheckCfg) -> ScaleOutcome {
         policy: cc.policy,
         seed: cfg.seed,
         dist: KeyDistribution::Zipf { exponent: 1.1 },
+        overwrite_delta_permille: 0,
     });
     let mut cluster = Cluster::build(cc, cfg.seed);
     let checker = Checker::install_sampled(

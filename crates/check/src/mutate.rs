@@ -18,7 +18,7 @@
 //!
 //! # Mutation operators
 //!
-//! Five operators, each aimed at a protocol decision the paper's
+//! Seven operators, each aimed at a protocol decision the paper's
 //! correctness argument leans on (sites are discovered by scanning the
 //! *current* source, so they track refactors; the pinned CI set selects
 //! stable `(operator, file, occurrence)` ids):
@@ -30,6 +30,8 @@
 //! | `ack-drop` | deletes a `ctx.send(.. Reply ..)` statement: an acknowledgment is never sent |
 //! | `fragmask-flip` | `bits[w] \|= 1 << b` → `2 << b`: fragment-presence bitmask records the wrong bit |
 //! | `timer-gen-skip` | `TimerSlab` retire stops bumping the generation: cancelled timers still fire |
+//! | `compaction-skip` | the converged-version compactor never fires |
+//! | `delta-resolve-skip` | the FS adopts a windowed delta stripe raw instead of resolving it |
 //!
 //! The build tree is copied once to `target/mutate/tree` and rebuilt
 //! incrementally per mutant (shared `CARGO_TARGET_DIR`), so the dominant
@@ -69,6 +71,11 @@ pub const OPERATORS: &[(&str, &str)] = &[
         "compaction-skip",
         "converged-version compaction never fires (`if self.mode.compact_converged` gated \
          with `&& false`)",
+    ),
+    (
+        "delta-resolve-skip",
+        "the fragment server stores a windowed delta stripe verbatim instead of resolving \
+         it against the base (`Some(resolved) => resolved` -> `fragment.clone()`)",
     ),
 ];
 
@@ -261,6 +268,22 @@ pub fn scan_file(rel: &Path, src: &str) -> Vec<Mutation> {
         );
     }
 
+    // delta-resolve-skip: only meaningful in the fragment server. Killed
+    // through the `--delta` sweep: the stored stripe keeps its window
+    // marker and trimmed payload, so the dense-state invariants and the
+    // replay digests both diverge from the baseline.
+    if stem == "fs" {
+        const DELTA_RESOLVE: &str = "Some(resolved) => resolved,";
+        for pos in occurrences(src, DELTA_RESOLVE) {
+            push(
+                "delta-resolve-skip",
+                pos,
+                pos + DELTA_RESOLVE.len(),
+                "Some(_resolved) => fragment.clone(),".to_string(),
+            );
+        }
+    }
+
     // timer-gen-skip: only meaningful in the timer slab.
     if stem == "queue" {
         for pos in occurrences(src, "wrapping_add(1)") {
@@ -295,8 +318,8 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Mutation>> {
 // Pinned smoke set
 // ---------------------------------------------------------------------------
 
-/// The 11 pinned protocol mutants CI runs (`mutate --smoke`), chosen to
-/// cover all six operators across proxy, FS, KLS, protocol helpers,
+/// The 12 pinned protocol mutants CI runs (`mutate --smoke`), chosen to
+/// cover all seven operators across proxy, FS, KLS, protocol helpers,
 /// timer slab and checksum. The kill-rate gate and the per-mutant
 /// expectations are documented in DESIGN.md §6.
 pub const PINNED_SMOKE: &[&str] = &[
@@ -311,6 +334,7 @@ pub const PINNED_SMOKE: &[&str] = &[
     "fragmask-flip:protocol:0",  // FragMask::insert sets the wrong bit
     "timer-gen-skip:queue:0",    // timer slab reuses live generations
     "compaction-skip:fs:0",      // compactor off: scale-check digest's compacted count drops
+    "delta-resolve-skip:fs:0",   // delta stripes stored raw: `--delta` sweep diverges
 ];
 
 // ---------------------------------------------------------------------------
@@ -704,9 +728,9 @@ mod tests {
     }
 
     #[test]
-    fn pinned_set_is_eleven_distinct_ids() {
+    fn pinned_set_is_twelve_distinct_ids() {
         let set: std::collections::BTreeSet<&&str> = PINNED_SMOKE.iter().collect();
-        assert_eq!(set.len(), 11);
+        assert_eq!(set.len(), 12);
     }
 
     #[test]
@@ -719,5 +743,22 @@ mod tests {
             .expect("site found");
         assert_eq!(m.id, "compaction-skip:fs:0");
         assert!(m.apply(src).contains("newly_settled && false {"));
+    }
+
+    #[test]
+    fn delta_resolve_skip_site_is_fs_only() {
+        let src = "match base.as_ref().and_then(|b| fragment.apply_delta(b)) {\n    Some(resolved) => resolved,\n    None => return false,\n}\n";
+        let ms = scan_file(Path::new("fs.rs"), src);
+        let m = ms
+            .iter()
+            .find(|m| m.operator == "delta-resolve-skip")
+            .expect("site found");
+        assert_eq!(m.id, "delta-resolve-skip:fs:0");
+        assert!(m
+            .apply(src)
+            .contains("Some(_resolved) => fragment.clone(),"));
+        // The same pattern outside fs.rs is not a site.
+        let ms = scan_file(Path::new("proxy.rs"), src);
+        assert!(ms.iter().all(|m| m.operator != "delta-resolve-skip"));
     }
 }

@@ -19,6 +19,7 @@ fn injected_corruption_is_caught_and_shrunk() {
         workload: WorkloadCfg {
             puts: 2,
             value_len: 2048,
+            rounds: 1,
         },
     };
     let result = sweep(&cfg, Injection::CorruptFragment, |_, _| {});
@@ -78,6 +79,7 @@ fn clean_mini_sweep_reports_no_violation() {
         workload: WorkloadCfg {
             puts: 2,
             value_len: 2048,
+            rounds: 1,
         },
     };
     let mut seen = 0;

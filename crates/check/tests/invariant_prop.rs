@@ -8,6 +8,7 @@ use proptest::prelude::*;
 const WORKLOAD: WorkloadCfg = WorkloadCfg {
     puts: 2,
     value_len: 2048,
+    rounds: 1,
 };
 
 fn assert_invariants_hold(seed: u64, faults: FaultSpec, preset: Preset) {

@@ -25,6 +25,7 @@ fn identical_seeds_replay_byte_identically() {
     let wl = WorkloadCfg {
         puts: 3,
         value_len: 2048,
+        rounds: 1,
     };
     let sc = faulty_scenario(42);
     let a = run_scenario(&sc, &wl, Injection::None, true);
@@ -45,6 +46,7 @@ fn different_seeds_diverge() {
     let wl = WorkloadCfg {
         puts: 2,
         value_len: 2048,
+        rounds: 1,
     };
     let a = run_scenario(&faulty_scenario(1), &wl, Injection::None, true);
     let b = run_scenario(&faulty_scenario(2), &wl, Injection::None, true);

@@ -142,6 +142,7 @@ pub fn as_config_result(
         kind_counts,
         kind_bytes,
         kind_drops: BTreeMap::new(),
+        event_counts: BTreeMap::new(),
         dropped_fault: constant(0.0),
         dropped_random: constant(0.0),
         total_count: constant(total_c as f64),

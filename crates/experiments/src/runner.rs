@@ -43,6 +43,10 @@ pub struct ConfigResult {
     pub kind_bytes: BTreeMap<&'static str, Summary>,
     /// Mean dropped-message counts per kind, split fault vs. random loss.
     pub kind_drops: BTreeMap<&'static str, DropSummary>,
+    /// Mean per-run totals of the dense protocol event counters (the
+    /// delta-codec ledger: `deltas_encoded`, `delta_fallbacks`,
+    /// `delta_bytes_saved`, ...). Empty when no trial recorded any.
+    pub event_counts: BTreeMap<&'static str, Summary>,
     /// Total fault-dropped protocol messages per run.
     pub dropped_fault: Summary,
     /// Total randomly dropped protocol messages per run.
@@ -108,6 +112,16 @@ pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> Con
         }
         set.into_keys().collect()
     };
+    let event_labels: Vec<&'static str> = {
+        let mut set = BTreeMap::new();
+        for r in reports {
+            for (label, _) in r.metrics.iter_events() {
+                set.insert(label, ());
+            }
+        }
+        set.into_keys().collect()
+    };
+    let mut event_accs: BTreeMap<&'static str, Accumulator> = BTreeMap::new();
 
     let mut total_count = Accumulator::new();
     let mut total_bytes = Accumulator::new();
@@ -143,6 +157,12 @@ pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> Con
         }
         dropped_fault.push(fault_sum as f64);
         dropped_random.push(random_sum as f64);
+        for &label in &event_labels {
+            event_accs
+                .entry(label)
+                .or_default()
+                .push(r.metrics.event(label) as f64);
+        }
         sim_secs.push(r.sim_time.as_secs_f64());
         puts_attempted.push(r.puts_attempted as f64);
         excess_amr.push(r.excess_amr as f64);
@@ -171,6 +191,10 @@ pub fn aggregate(label: impl Into<String>, reports: &[ConvergenceReport]) -> Con
                     },
                 )
             })
+            .collect(),
+        event_counts: event_accs
+            .into_iter()
+            .map(|(k, a)| (k, a.summary()))
             .collect(),
         dropped_fault: dropped_fault.summary(),
         dropped_random: dropped_random.summary(),

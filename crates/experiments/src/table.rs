@@ -177,6 +177,54 @@ pub fn render_run_stats(results: &[ConfigResult]) -> String {
     out
 }
 
+/// Renders the dense protocol event counters (the delta-codec ledger:
+/// `deltas_encoded`, `delta_fallbacks`, `delta_bytes_saved`, ...): one
+/// row per counter, one mean-per-run cell per configuration. Counters
+/// that stayed zero everywhere are elided; returns an empty string when
+/// no configuration recorded any event (e.g. delta coding off).
+pub fn render_events(title: &str, results: &[ConfigResult]) -> String {
+    let mut labels: Vec<&'static str> = results
+        .iter()
+        .flat_map(|r| r.event_counts.keys().copied())
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let cell = |r: &ConfigResult, label: &str| -> f64 {
+        r.event_counts.get(label).map_or(0.0, |s| s.mean)
+    };
+    labels.retain(|l| results.iter().any(|r| cell(r, l) > 0.0));
+    if labels.is_empty() {
+        return String::new();
+    }
+
+    let label_w = labels
+        .iter()
+        .map(|l| l.len())
+        .chain(["event".len()])
+        .max()
+        .unwrap_or(8);
+    let col_w = results
+        .iter()
+        .map(|r| r.label.len().max(12))
+        .collect::<Vec<_>>();
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title} (mean per run)\n"));
+    out.push_str(&format!("{:label_w$}", "event"));
+    for (r, w) in results.iter().zip(&col_w) {
+        out.push_str(&format!("  {:>w$}", r.label, w = w));
+    }
+    out.push('\n');
+    for label in &labels {
+        out.push_str(&format!("{label:label_w$}"));
+        for (r, w) in results.iter().zip(&col_w) {
+            out.push_str(&format!("  {:>w$.1}", cell(r, label), w = w));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders the per-kind dropped-message breakdown: one row per message
 /// kind, one `fault/random` cell per configuration. Kinds that were never
 /// dropped anywhere are elided; returns an empty string when nothing was
@@ -338,6 +386,34 @@ mod tests {
         assert!(t.contains("fault/random"), "{t}");
         assert!(t.contains("TOTAL"), "{t}");
         assert!(t.contains('/'), "{t}");
+    }
+
+    #[test]
+    fn events_table_surfaces_delta_counters() {
+        // The idealized bound records no protocol events: the table must
+        // vanish.
+        assert_eq!(render_events("clean", &sample()), "");
+
+        // A delta-mode overwrite run (two workload rounds: the second
+        // round re-puts every key) must surface the delta-codec ledger.
+        let mut cfg = pahoehoe::cluster::ClusterConfig::paper_default();
+        cfg.workload_puts = 2;
+        cfg.workload_value_len = 2048;
+        cfg.workload_rounds = 2;
+        cfg.protocol = pahoehoe::protocol::ProtocolMode::delta();
+        let reports = crate::runner::run_many(0..2, |seed| {
+            pahoehoe::cluster::Cluster::build(cfg.clone(), seed)
+        });
+        let agg = crate::runner::aggregate("Delta", &reports);
+        assert!(
+            agg.event_counts["deltas_encoded"].mean > 0.0,
+            "{:?}",
+            agg.event_counts
+        );
+        let t = render_events("delta", std::slice::from_ref(&agg));
+        assert!(t.contains("deltas_encoded"), "{t}");
+        assert!(t.contains("delta_bytes_saved"), "{t}");
+        assert!(t.contains("stripe_cache_hits"), "{t}");
     }
 
     #[test]

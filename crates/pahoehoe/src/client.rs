@@ -132,11 +132,29 @@ impl Client {
         value_len: usize,
         policy: Policy,
     ) -> Self {
-        let script = (0..count)
-            .map(|i| ClientOp::Put {
-                key: Key::from_u64(i as u64 + 1),
-                value: Self::synthetic_value(i as u64, value_len),
-                policy,
+        Self::standard_workload_rounds(proxy, count, value_len, policy, 1)
+    }
+
+    /// The standard workload repeated `rounds` times: every round puts
+    /// each key once, with the same key-derived contents each round, so
+    /// `rounds > 1` turns the insert-only script into an overwrite stream
+    /// — the shape that exercises delta coding — while staying compatible
+    /// with byte-level durability checks (the blob for a key never
+    /// changes across rounds).
+    pub fn standard_workload_rounds(
+        proxy: NodeId,
+        count: usize,
+        value_len: usize,
+        policy: Policy,
+        rounds: usize,
+    ) -> Self {
+        let script = (0..rounds.max(1))
+            .flat_map(|_| {
+                (0..count).map(move |i| ClientOp::Put {
+                    key: Key::from_u64(i as u64 + 1),
+                    value: Self::synthetic_value(i as u64, value_len),
+                    policy,
+                })
             })
             .collect();
         Client::new(proxy, script)

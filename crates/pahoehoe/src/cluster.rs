@@ -151,6 +151,12 @@ pub struct ClusterConfig {
     pub workload_puts: usize,
     /// Value size for the standard workload.
     pub workload_value_len: usize,
+    /// Rounds of the standard workload: each round puts every key once
+    /// with the same key-derived contents, so `> 1` turns the insert-only
+    /// script into an overwrite stream (the shape delta coding targets)
+    /// without breaking byte-level durability checks. `1` is the paper's
+    /// workload, byte-identical to the historical script.
+    pub workload_rounds: usize,
     /// An explicit client script overriding the standard workload — e.g.
     /// built with [`Workload`](crate::workload::Workload) for non-uniform
     /// object sizes.
@@ -183,6 +189,7 @@ impl ClusterConfig {
             network: NetworkConfig::paper_default(),
             workload_puts: 0,
             workload_value_len: 100 * 1024,
+            workload_rounds: 1,
             custom_workload: None,
             streaming_workload: None,
             max_sim_time: SimDuration::from_secs(24 * 3600),
@@ -297,11 +304,12 @@ impl Cluster {
         let client = match (&config.custom_workload, &config.streaming_workload) {
             (Some(script), _) => Client::new(proxy_id, script.clone()),
             (None, Some(stream)) => Client::streaming(proxy_id, stream.clone()),
-            (None, None) => Client::standard_workload(
+            (None, None) => Client::standard_workload_rounds(
                 proxy_id,
                 config.workload_puts,
                 config.workload_value_len,
                 config.policy,
+                config.workload_rounds,
             ),
         };
         let client_id = sim.add_actor(client);

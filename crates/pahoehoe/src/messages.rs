@@ -49,6 +49,28 @@ pub const POLICY_BYTES: usize = 5;
 /// Correlation id for client operations and embedded gets.
 pub type OpId = u64;
 
+// Dense indices into [`Message::EVENTS`], for `Context::record_event`.
+// Keep these in sync with the registry below — each constant is the
+// position of its label.
+/// Put-path stripes encoded as XOR deltas (proxy).
+pub const EV_DELTAS_ENCODED: usize = 0;
+/// Delta-eligible puts that fell back to full encode (proxy).
+pub const EV_DELTA_FALLBACKS: usize = 1;
+/// Put-path fragment payload bytes saved by delta coding vs full encode.
+pub const EV_DELTA_BYTES_SAVED: usize = 2;
+/// Stripe-cache lookups that found a usable base version (proxy).
+pub const EV_STRIPE_CACHE_HITS: usize = 3;
+/// Stripe-cache lookups that missed (proxy).
+pub const EV_STRIPE_CACHE_MISSES: usize = 4;
+/// Put-path fragment payload bytes shipped as windowed deltas.
+pub const EV_DELTA_FRAG_BYTES: usize = 5;
+/// Put-path fragment payload bytes shipped as full fragments.
+pub const EV_FULL_FRAG_BYTES: usize = 6;
+/// Windowed delta fragments resolved to dense bytes at an FS.
+pub const EV_DELTAS_RESOLVED: usize = 7;
+/// Windowed delta fragments an FS could not resolve (base missing).
+pub const EV_DELTA_UNRESOLVABLE: usize = 8;
+
 /// Every message exchanged between Pahoehoe nodes.
 #[derive(Clone, Debug)]
 pub enum Message {
@@ -340,6 +362,20 @@ impl Payload for Message {
         "SiblingStoreReq",
     ];
 
+    /// Protocol event counters for the delta-coding path, indexed by the
+    /// `EV_*` constants above.
+    const EVENTS: &'static [&'static str] = &[
+        "deltas_encoded",
+        "delta_fallbacks",
+        "delta_bytes_saved",
+        "stripe_cache_hits",
+        "stripe_cache_misses",
+        "delta_frag_bytes",
+        "full_frag_bytes",
+        "deltas_resolved",
+        "delta_unresolvable",
+    ];
+
     fn kind_id(&self) -> usize {
         match self {
             Message::ClientPut { .. } => 0,
@@ -383,7 +419,7 @@ impl Payload for Message {
                 Message::StoreMetadata { meta, .. } => OV_BYTES + meta.wire_size(),
                 Message::StoreMetadataReply { .. } => OV_BYTES + 1,
                 Message::StoreFragment { meta, fragment, .. } => {
-                    OV_BYTES + meta.wire_size() + 1 + fragment.len()
+                    OV_BYTES + meta.wire_size() + 1 + fragment.wire_len()
                 }
                 Message::StoreFragmentReply { .. } => OV_BYTES + 1,
                 Message::AmrIndication { meta, .. } => OV_BYTES + meta.wire_size(),
@@ -402,7 +438,7 @@ impl Payload for Message {
                 }
                 Message::RetrieveFrag { .. } => 8 + OV_BYTES + 1,
                 Message::RetrieveFragReply { data, .. } => {
-                    8 + OV_BYTES + 1 + data.as_ref().map_or(1, |f| 1 + f.len())
+                    8 + OV_BYTES + 1 + data.as_ref().map_or(1, |f| 1 + f.wire_len())
                 }
                 Message::ConvergeKls { meta, .. } => OV_BYTES + meta.wire_size(),
                 Message::ConvergeKlsBatch { entries } => entries
@@ -419,7 +455,7 @@ impl Payload for Message {
                     OV_BYTES + 2 + have.len() + missing.len()
                 }
                 Message::SiblingStore { meta, fragment, .. } => {
-                    OV_BYTES + meta.wire_size() + fragment.len()
+                    OV_BYTES + meta.wire_size() + fragment.wire_len()
                 }
             }
     }
@@ -540,6 +576,44 @@ mod tests {
             data: Some(Fragment::new(3, vec![0u8; 100])),
         };
         assert!(hit.wire_size() > miss.wire_size() + 98);
+    }
+
+    #[test]
+    fn event_ids_index_the_event_registry() {
+        assert_eq!(Message::EVENTS[EV_DELTAS_ENCODED], "deltas_encoded");
+        assert_eq!(Message::EVENTS[EV_DELTA_FALLBACKS], "delta_fallbacks");
+        assert_eq!(Message::EVENTS[EV_DELTA_BYTES_SAVED], "delta_bytes_saved");
+        assert_eq!(Message::EVENTS[EV_STRIPE_CACHE_HITS], "stripe_cache_hits");
+        assert_eq!(
+            Message::EVENTS[EV_STRIPE_CACHE_MISSES],
+            "stripe_cache_misses"
+        );
+        assert_eq!(Message::EVENTS[EV_DELTA_FRAG_BYTES], "delta_frag_bytes");
+        assert_eq!(Message::EVENTS[EV_FULL_FRAG_BYTES], "full_frag_bytes");
+        assert_eq!(Message::EVENTS[EV_DELTAS_RESOLVED], "deltas_resolved");
+        assert_eq!(Message::EVENTS[EV_DELTA_UNRESOLVABLE], "delta_unresolvable");
+        assert_eq!(Message::EVENTS.len(), 9);
+    }
+
+    #[test]
+    fn delta_fragments_price_window_header_and_tagged_metadata() {
+        let mut tagged = full_meta();
+        tagged.set_delta_base(Timestamp::new(SimTime::ZERO, 0));
+        let dense = Message::StoreFragment {
+            ov: ov(),
+            meta: Arc::new(full_meta()),
+            fragment: Fragment::new(0, vec![0u8; 250]),
+        };
+        let delta = Message::StoreFragment {
+            ov: ov(),
+            meta: Arc::new(tagged),
+            fragment: Fragment::new_delta(0, vec![0u8; 10], 100, 250),
+        };
+        // 240 fewer payload bytes, plus 6 window header and 9 metadata tag.
+        assert_eq!(
+            dense.wire_size() - delta.wire_size(),
+            240 - erasure::DELTA_WINDOW_BYTES - 9
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use simnet::NodeId;
 
 use crate::policy::Policy;
 use crate::topology::DataCenterId;
+use crate::types::Timestamp;
 
 /// A fragment location: a fragment server plus a disk on that server
 /// (§3.5: "a location actually identifies both an FS and a disk on that FS
@@ -37,6 +38,11 @@ pub struct Metadata {
     home_dc: DataCenterId,
     value_len: u32,
     locs: BTreeMap<DataCenterId, Vec<Location>>,
+    /// Delta-coded versions record the timestamp of the base version whose
+    /// stripe the proxy XOR-deltaed against (same key, same length). `None`
+    /// for fully encoded versions — the only shape the default protocol
+    /// produces, which keeps its wire sizes (and digests) unchanged.
+    delta_base: Option<Timestamp>,
 }
 
 impl Metadata {
@@ -47,7 +53,21 @@ impl Metadata {
             home_dc,
             value_len: u32::try_from(value_len).expect("values larger than 4 GiB are out of scope"),
             locs: BTreeMap::new(),
+            delta_base: None,
         }
+    }
+
+    /// Tags this version as an XOR-delta against `base` (the previous
+    /// version of the same key, same value length). Fragment servers use
+    /// the tag to pick the resolution base for incoming windowed fragments.
+    pub fn set_delta_base(&mut self, base: Timestamp) {
+        self.delta_base = Some(base);
+    }
+
+    /// The base version this metadata's fragments are deltas against, if
+    /// the version was delta-coded.
+    pub fn delta_base(&self) -> Option<Timestamp> {
+        self.delta_base
     }
 
     /// The durability policy.
@@ -104,6 +124,13 @@ impl Metadata {
             self.value_len = other.value_len;
             changed = true;
         }
+        // The delta-base tag is set once by the originating proxy, so every
+        // copy that carries one agrees; learn it from whichever replica has
+        // it first.
+        if self.delta_base.is_none() && other.delta_base.is_some() {
+            self.delta_base = other.delta_base;
+            changed = true;
+        }
         changed
     }
 
@@ -114,6 +141,7 @@ impl Metadata {
     pub fn would_learn_from(&self, other: &Metadata) -> bool {
         other.locs.keys().any(|dc| !self.locs.contains_key(dc))
             || (self.value_len == 0 && other.value_len != 0)
+            || (self.delta_base.is_none() && other.delta_base.is_some())
     }
 
     /// Merges `src` into the shared handle `dst`, copying-on-write only
@@ -202,8 +230,9 @@ impl Metadata {
     /// Modeled wire size of this metadata when embedded in a message.
     pub fn wire_size(&self) -> usize {
         // policy(5) + home dc(1) + value_len(4) + per location (node 4 +
-        // disk 1 + dc tag amortized 1).
-        10 + 6 * self.location_count()
+        // disk 1 + dc tag amortized 1); delta-coded versions also carry the
+        // base timestamp (8 + 1 tag).
+        10 + 6 * self.location_count() + if self.delta_base.is_some() { 9 } else { 0 }
     }
 }
 
@@ -401,6 +430,24 @@ mod tests {
         let full = meta_with_both_dcs();
         assert!(full.wire_size() > empty.wire_size());
         assert_eq!(full.wire_size(), 10 + 6 * 12);
+    }
+
+    #[test]
+    fn delta_base_tag_propagates_and_costs_wire_bytes() {
+        let ts = Timestamp::MIN;
+        let mut m = meta_with_both_dcs();
+        assert_eq!(m.delta_base(), None);
+        let plain_size = m.wire_size();
+        m.set_delta_base(ts);
+        assert_eq!(m.delta_base(), Some(ts));
+        assert_eq!(m.wire_size(), plain_size + 9);
+
+        // A replica without the tag learns it on merge.
+        let mut untagged = meta_with_both_dcs();
+        assert!(untagged.would_learn_from(&m));
+        assert!(untagged.merge(&m));
+        assert_eq!(untagged.delta_base(), Some(ts));
+        assert!(!untagged.merge(&m), "second merge is a no-op");
     }
 
     #[test]

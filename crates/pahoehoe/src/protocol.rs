@@ -53,6 +53,9 @@ static FLAT_STORE: AtomicBool = AtomicBool::new(false);
 /// [`set_compaction`].
 static COMPACT_CONVERGED: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide default for `delta = true`; see [`set_delta_coding`].
+static DELTA_CODING: AtomicBool = AtomicBool::new(false);
+
 /// Switches every *subsequently constructed* protocol actor to the
 /// pre-optimization metadata handling: a deep [`Metadata`] copy on every
 /// share, exactly the seed's clone-per-send cost. Mirrors
@@ -110,6 +113,24 @@ pub fn compaction() -> bool {
     COMPACT_CONVERGED.load(Ordering::Relaxed)
 }
 
+/// Enables XOR-delta stripe coding for every *subsequently constructed*
+/// proxy and fragment server: when a proxy still holds the previous
+/// version's value for a key (its bounded stripe cache), the overwrite is
+/// encoded as windowed delta fragments — by GF(2⁸) linearity,
+/// `encode(a) XOR encode(b) = encode(a XOR b)` — and each FS resolves the
+/// delta against its stored base fragment at store time, so stored state
+/// stays dense. Off by default: the paper-faithful sweeps and the
+/// recorded digests use full encodes; delta runs opt in (explorer
+/// `--delta`, the delta bench).
+pub fn set_delta_coding(enabled: bool) {
+    DELTA_CODING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`set_delta_coding`] is on.
+pub fn delta_coding() -> bool {
+    DELTA_CODING.load(Ordering::Relaxed)
+}
+
 /// The protocol-layer optimization switches an actor runs with, captured
 /// once at construction so parallel tests can pin a mode per cluster
 /// without racing on the process-wide defaults.
@@ -130,6 +151,10 @@ pub struct ProtocolMode {
     /// to an O(1) residual record (see [`set_compaction`]). Off by
     /// default; scale runs opt in.
     pub compact_converged: bool,
+    /// Encode overwrites of cached keys as XOR-delta stripes resolved at
+    /// the FS store path (see [`set_delta_coding`]). Off by default so
+    /// the pinned sweep digests keep their full-encode byte accounting.
+    pub delta: bool,
 }
 
 impl ProtocolMode {
@@ -142,6 +167,7 @@ impl ProtocolMode {
             batch_rounds: false,
             shard_store: true,
             compact_converged: false,
+            delta: false,
         }
     }
 
@@ -153,6 +179,7 @@ impl ProtocolMode {
             batch_rounds: false,
             shard_store: false,
             compact_converged: false,
+            delta: false,
         }
     }
 
@@ -163,6 +190,7 @@ impl ProtocolMode {
             batch_rounds: true,
             shard_store: true,
             compact_converged: false,
+            delta: false,
         }
     }
 
@@ -175,6 +203,19 @@ impl ProtocolMode {
             batch_rounds: false,
             shard_store: true,
             compact_converged: true,
+            delta: false,
+        }
+    }
+
+    /// The optimized defaults plus XOR-delta stripe coding for hot-key
+    /// overwrites (what explorer `--delta` pins per cluster).
+    pub const fn delta() -> Self {
+        ProtocolMode {
+            share_metadata: true,
+            batch_rounds: false,
+            shard_store: true,
+            compact_converged: false,
+            delta: true,
         }
     }
 
@@ -186,6 +227,7 @@ impl ProtocolMode {
             batch_rounds: batched_rounds(),
             shard_store: !flat_store(),
             compact_converged: compaction(),
+            delta: delta_coding(),
         }
     }
 
@@ -295,6 +337,12 @@ mod tests {
         assert!(ProtocolMode::batched().batch_rounds);
         assert!(ProtocolMode::scale().compact_converged);
         assert!(ProtocolMode::scale().shard_store);
+        assert!(!ProtocolMode::optimized().delta);
+        assert!(!ProtocolMode::reference().delta);
+        assert!(!ProtocolMode::scale().delta);
+        assert!(ProtocolMode::delta().delta);
+        assert!(ProtocolMode::delta().share_metadata);
+        assert!(!ProtocolMode::delta().compact_converged);
     }
 
     // The process-wide `set_flat_store` / `set_compaction` switches are

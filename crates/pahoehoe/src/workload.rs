@@ -223,6 +223,7 @@ pub enum KeyDistribution {
 ///     policy: pahoehoe::Policy::paper_default(),
 ///     seed: 42,
 ///     dist: KeyDistribution::Zipf { exponent: 0.99 },
+///     overwrite_delta_permille: 0,
 /// };
 /// assert_eq!(wl.key_at(7), wl.key_at(7)); // pure function of (seed, index)
 /// ```
@@ -240,6 +241,15 @@ pub struct StreamingWorkload {
     pub seed: u64,
     /// Key-popularity shape.
     pub dist: KeyDistribution,
+    /// Overwrite correlation: the fraction of bytes (in 1/1000) each put
+    /// rewrites inside a fixed per-key window, with contents that vary by
+    /// put index. `0` keeps the standard key-derived blobs — required
+    /// whenever byte-level durability checks are installed, since those
+    /// reconstruct the expected blob from the key alone. Nonzero values
+    /// model the ≤1 %-changed overwrite streams the delta-coding benches
+    /// measure: successive puts to the same key differ only within the
+    /// window.
+    pub overwrite_delta_permille: u16,
 }
 
 impl StreamingWorkload {
@@ -287,9 +297,24 @@ impl StreamingWorkload {
     /// Synthesizes put `i` — value bytes included — in O(`value_len`).
     pub fn op_at(&self, i: u64) -> ClientOp {
         let key = self.key_at(i);
+        let mut value = Client::synthetic_value(key.as_u64().wrapping_sub(1), self.value_len);
+        if self.overwrite_delta_permille > 0 && self.value_len > 0 {
+            let len = self.value_len;
+            let w = (len * usize::from(self.overwrite_delta_permille) / 1000).clamp(1, len);
+            let off = (mix64(key.as_u64()) % (len - w + 1) as u64) as usize;
+            let mut buf = value.to_vec();
+            let mut state = mix64(key.as_u64() ^ mix64(i)) | 1;
+            for b in &mut buf[off..off + w] {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = state as u8;
+            }
+            value = Bytes::from(buf);
+        }
         ClientOp::Put {
             key,
-            value: Client::synthetic_value(key.as_u64().wrapping_sub(1), self.value_len),
+            value,
             policy: self.policy,
         }
     }
@@ -380,6 +405,7 @@ mod tests {
             policy: Policy::paper_default(),
             seed: 42,
             dist,
+            overwrite_delta_permille: 0,
         }
     }
 
@@ -442,6 +468,52 @@ mod tests {
         let hot = (0..wl.puts).filter(|&i| wl.rank_at(i) <= 10).count() as f64;
         let frac = hot / wl.puts as f64;
         assert!((0.85..=0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn overwrite_knob_rewrites_one_fixed_window_per_key() {
+        let mut wl = stream(KeyDistribution::Sequential);
+        wl.value_len = 4096;
+        wl.overwrite_delta_permille = 10; // ~1 % of bytes per overwrite
+                                          // Sequential ranks repeat every `key_space` puts, so puts i and
+                                          // i + key_space overwrite the same key.
+        let (i, j) = (3, 3 + wl.key_space);
+        let ClientOp::Put {
+            key: ka, value: va, ..
+        } = wl.op_at(i)
+        else {
+            panic!("put")
+        };
+        let ClientOp::Put {
+            key: kb, value: vb, ..
+        } = wl.op_at(j)
+        else {
+            panic!("put")
+        };
+        assert_eq!(ka, kb, "sequential stream must revisit the key");
+        let changed: Vec<usize> = (0..va.len()).filter(|&p| va[p] != vb[p]).collect();
+        assert!(!changed.is_empty(), "overwrites must differ");
+        let span = changed.last().unwrap() - changed.first().unwrap() + 1;
+        let w = 4096 * 10 / 1000;
+        assert!(span <= w, "diff span {span} exceeds the {w}-byte window");
+        // The window position is a function of the key alone: diffs from
+        // another overwrite of the same key land in the same window.
+        let ClientOp::Put { value: vc, .. } = wl.op_at(j + wl.key_space) else {
+            panic!("put")
+        };
+        let changed2: Vec<usize> = (0..vb.len()).filter(|&p| vb[p] != vc[p]).collect();
+        let lo = (*changed.first().unwrap()).min(*changed2.first().unwrap());
+        let hi = (*changed.last().unwrap()).max(*changed2.last().unwrap());
+        assert!(hi - lo < w, "both diffs share one {w}-byte window");
+        // Zero keeps the standard key-derived convention byte-for-byte.
+        wl.overwrite_delta_permille = 0;
+        let ClientOp::Put { value: plain, .. } = wl.op_at(i) else {
+            panic!("put")
+        };
+        assert_eq!(
+            plain,
+            Client::synthetic_value(ka.as_u64().wrapping_sub(1), 4096)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use pahoehoe::cluster::{Cluster, ClusterConfig};
 use pahoehoe::fs::Fs;
-use pahoehoe::protocol::ProtocolMode;
+use pahoehoe::protocol::{set_delta_coding, ProtocolMode};
 use pahoehoe::{set_compaction, set_flat_store};
 
 /// Builds a small cluster under whatever switches are currently set,
@@ -83,4 +83,40 @@ fn switches_capture_at_construction() {
         format!("{:?}", compacting.sim().metrics()),
         format!("{:?}", sharded.sim().metrics())
     );
+
+    // `set_delta_coding(true)` routes overwrites of a cached key through
+    // the XOR-delta stripe path. Successive values differ in one byte, so
+    // the dirty window is tiny and the delta encoder must engage rather
+    // than fall back.
+    assert!(!mode.delta, "delta coding is opt-in");
+    set_delta_coding(true);
+    assert!(ProtocolMode::current().delta);
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.workload_puts = 0;
+    let mut delta_run = Cluster::build(cfg, 7);
+    for i in 0..4u8 {
+        let mut value = vec![0xab; 2048];
+        value[17] = i;
+        delta_run.put(b"hot-key", value);
+        delta_run.run_to_convergence();
+    }
+    set_delta_coding(false);
+    assert!(!ProtocolMode::current().delta);
+    let metrics = delta_run.sim().metrics().clone();
+    assert_eq!(
+        metrics.event("deltas_encoded"),
+        3,
+        "puts 2-4 overwrite the cached stripe: {metrics:?}"
+    );
+    assert!(metrics.event("delta_bytes_saved") > 0);
+    assert!(
+        metrics.event("deltas_resolved") > 0,
+        "fragment servers resolve windowed deltas against the stored base"
+    );
+    assert_eq!(metrics.event("delta_unresolvable"), 0);
+    // The delta run converges to the same AMR ledger as a full-stripe run
+    // of the same script.
+    let report = delta_run.report(simnet::RunOutcome::PredicateSatisfied);
+    assert_eq!(report.puts_succeeded, 4);
+    assert_eq!(report.non_durable, 0);
 }

@@ -201,6 +201,14 @@ impl<M: Payload> Context<'_, M> {
             .record_coalesced(msg.kind_id(), msg.wire_size(), entries);
     }
 
+    /// Adds `amount` to protocol event counter `event_id` (an index into
+    /// the payload's [`EVENTS`](Payload::EVENTS) registry). Events track
+    /// protocol-level happenings — cache hits, fallbacks, bytes saved —
+    /// outside the per-kind message tables.
+    pub fn record_event(&mut self, event_id: usize, amount: u64) {
+        self.inner.metrics.record_event(event_id, amount);
+    }
+
     /// Schedules a timer to fire on this actor after `delay`, carrying
     /// `tag` back to [`Actor::on_timer`].
     pub fn schedule_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {

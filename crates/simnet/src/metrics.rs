@@ -70,6 +70,8 @@ pub struct Metrics {
     drops: Vec<DropStats>,
     duplicated: u64,
     entries: Vec<u64>,
+    event_registry: &'static [&'static str],
+    events: Vec<u64>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -95,20 +97,33 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Creates metrics laid out for `registry` (one slot per kind).
+    /// Creates metrics laid out for `registry` (one slot per kind), with
+    /// no event counters.
     pub fn with_registry(registry: &'static [&'static str]) -> Self {
+        Metrics::with_registries(registry, &[])
+    }
+
+    /// Creates metrics laid out for `registry` (one slot per kind) and
+    /// `event_registry` (one slot per protocol event counter).
+    pub fn with_registries(
+        registry: &'static [&'static str],
+        event_registry: &'static [&'static str],
+    ) -> Self {
         Metrics {
             registry,
             sends: vec![KindStats::default(); registry.len()],
             drops: vec![DropStats::default(); registry.len()],
             duplicated: 0,
             entries: vec![0; registry.len()],
+            event_registry,
+            events: vec![0; event_registry.len()],
         }
     }
 
-    /// Creates metrics laid out for message type `M`'s kind registry.
+    /// Creates metrics laid out for message type `M`'s kind and event
+    /// registries.
     pub fn for_payload<M: Payload>() -> Self {
-        Metrics::with_registry(M::KINDS)
+        Metrics::with_registries(M::KINDS, M::EVENTS)
     }
 
     /// The kind registry this metrics object is laid out for.
@@ -166,6 +181,49 @@ impl Metrics {
     /// Records that a delivered message was duplicated by the channel.
     pub fn record_duplicate(&mut self) {
         self.duplicated += 1;
+    }
+
+    /// Adds `amount` to the protocol event counter `event_id` (an index
+    /// into the payload's event registry). Events count protocol-level
+    /// happenings, not messages: they never contribute to
+    /// [`total_count`](Self::total_count)/[`total_bytes`](Self::total_bytes)
+    /// or to replay digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event_id` is out of range for the event registry.
+    // lint:hot
+    pub fn record_event(&mut self, event_id: usize, amount: u64) {
+        self.events[event_id] += amount;
+    }
+
+    /// The event-counter registry this metrics object is laid out for.
+    pub fn event_registry(&self) -> &'static [&'static str] {
+        self.event_registry
+    }
+
+    /// The value of event counter `event` (zero if never recorded or
+    /// unregistered).
+    pub fn event(&self, event: &str) -> u64 {
+        self.event_registry
+            .iter()
+            .position(|&e| e == event)
+            .map(|i| self.events[i])
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(event, total)` of every event counter with a
+    /// nonzero total, in lexicographic event order.
+    pub fn iter_events(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        let mut seen: Vec<(&'static str, u64)> = self
+            .event_registry
+            .iter()
+            .zip(&self.events)
+            .filter(|(_, &v)| v > 0)
+            .map(|(&e, &v)| (e, v))
+            .collect();
+        seen.sort_unstable_by_key(|&(e, _)| e);
+        seen.into_iter()
     }
 
     fn index_of(&self, kind: &str) -> Option<usize> {
@@ -260,9 +318,17 @@ impl Metrics {
             self.drops = vec![DropStats::default(); other.registry.len()];
             self.entries = vec![0; other.registry.len()];
         }
+        if self.event_registry.is_empty() {
+            self.event_registry = other.event_registry;
+            self.events = vec![0; other.event_registry.len()];
+        }
         assert_eq!(
             self.registry, other.registry,
             "cannot merge metrics from different kind registries"
+        );
+        assert_eq!(
+            self.event_registry, other.event_registry,
+            "cannot merge metrics from different event registries"
         );
         for (a, b) in self.sends.iter_mut().zip(&other.sends) {
             a.count += b.count;
@@ -276,6 +342,9 @@ impl Metrics {
         }
         self.duplicated += other.duplicated;
         for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a += b;
+        }
+        for (a, b) in self.events.iter_mut().zip(&other.events) {
             *a += b;
         }
     }
@@ -356,6 +425,34 @@ mod tests {
         assert_eq!(a.dropped(), 2);
         assert_eq!(a.duplicated(), 2);
         assert_eq!(a.registry(), KINDS);
+    }
+
+    const EVENTS: &[&str] = &["zeta_event", "alpha_event"];
+
+    #[test]
+    fn events_accumulate_and_stay_out_of_traffic_totals() {
+        let mut m = Metrics::with_registries(KINDS, EVENTS);
+        m.record_event(0, 3);
+        m.record_event(0, 2);
+        m.record_event(1, 40);
+        assert_eq!(m.event("zeta_event"), 5);
+        assert_eq!(m.event("alpha_event"), 40);
+        assert_eq!(m.event("no_such_event"), 0);
+        assert_eq!(m.total_count(), 0, "events are not messages");
+        assert_eq!(m.total_bytes(), 0);
+        let listed: Vec<_> = m.iter_events().collect();
+        assert_eq!(listed, [("alpha_event", 40), ("zeta_event", 5)]);
+        let dbg = format!("{m:?}");
+        assert!(
+            !dbg.contains("event"),
+            "events are excluded from replay digests: {dbg}"
+        );
+
+        let mut acc = Metrics::new();
+        acc.merge(&m);
+        acc.merge(&m);
+        assert_eq!(acc.event("zeta_event"), 10);
+        assert_eq!(acc.event_registry(), EVENTS);
     }
 
     #[test]

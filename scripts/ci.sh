@@ -20,7 +20,7 @@ cargo run -p check --bin lint
 echo "==> semantic analyzer (workspace must be clean)"
 cargo run -p check --release --bin analyze
 
-echo "==> mutation smoke (pinned 11 mutants, kill-rate gate >= 9/11)"
+echo "==> mutation smoke (pinned 12 mutants, kill-rate gate >= 10/12)"
 # Surviving mutants print their diff; the binary exits 1 below the gate.
 cargo run -p check --release --bin mutate -- --smoke --bench-out BENCH_analysis.json
 python3 -m json.tool BENCH_analysis.json > /dev/null
@@ -36,6 +36,14 @@ echo "    parallel sweep digest (incl. scale line) is byte-identical to sequenti
 echo "==> invariant explorer (smoke sweep, batched protocol rounds)"
 cargo run -p check --release --bin explore -- --smoke --protocol batched
 
+echo "==> invariant explorer (smoke sweep, delta codec, sequential vs parallel)"
+# Two workload rounds under delta coding: every second-round put overwrites
+# a key through the XOR-delta stripe path, checked by every invariant.
+cargo run -p check --release --bin explore -- --smoke --delta --digest-out target/digest-delta-seq.txt
+cargo run -p check --release --bin explore -- --smoke --delta --workers 2 --digest-out target/digest-delta-par.txt
+cmp target/digest-delta-seq.txt target/digest-delta-par.txt
+echo "    delta-mode parallel sweep digest is byte-identical to sequential"
+
 echo "==> bench baseline (smoke)"
 cargo run -p bench --release --bin baseline -- --smoke
 python3 -m json.tool BENCH_codec.json > /dev/null
@@ -46,6 +54,11 @@ python3 -m json.tool BENCH_protocol.json > /dev/null
 echo "==> bench scale (smoke)"
 cargo run -p bench --release --bin scale -- --smoke
 python3 -m json.tool BENCH_scale.json > /dev/null
+
+echo "==> bench delta (smoke, gates the >= 3x hot-pair payload reduction)"
+cargo run -p bench --release --bin delta -- --smoke
+python3 -m json.tool BENCH_delta.json > /dev/null
+grep -q '"schema_version": 1' BENCH_delta.json || { echo "    BENCH_delta.json schema drift"; exit 1; }
 
 echo "==> bench schema versions"
 for f in BENCH_*.json; do
