@@ -573,7 +573,8 @@ fn codec_json(mode: &str, value_len: usize, iters: usize, entries: &[CodecNumber
     let last = entries.last().expect("at least one entry");
     let speedup = |f: fn(&CodecNumbers) -> f64| jf(f(last) / f(&entries[0]));
     format!(
-        "{{\n  \"bench\": \"codec\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  \"shape\": {{ \"k\": {SHAPE_K}, \"n\": {SHAPE_N} }},\n  \"value_len\": {value_len},\n  \"iters\": {iters},\n  \"entries\": [\n{}\n  ],\n  \"encode_speedup\": {},\n  \"decode_speedup\": {}\n}}\n",
+        "{{\n  \"bench\": \"codec\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  {},\n  \"shape\": {{ \"k\": {SHAPE_K}, \"n\": {SHAPE_N} }},\n  \"value_len\": {value_len},\n  \"iters\": {iters},\n  \"entries\": [\n{}\n  ],\n  \"encode_speedup\": {},\n  \"decode_speedup\": {}\n}}\n",
+        bench::host_json(1, "none"),
         rows.join(",\n"),
         speedup(|e| e.encode_mb_s),
         speedup(|e| e.decode_mb_s),
@@ -609,7 +610,8 @@ fn convergence_scenario_json(name: &str, entries: &[ConvergenceNumbers]) -> Stri
 
 fn convergence_json(mode: &str, puts: usize, value_len: usize, scenarios: &[String]) -> String {
     format!(
-        "{{\n  \"bench\": \"convergence\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  \"seed\": 42,\n  \"workload\": {{ \"puts\": {puts}, \"value_len\": {value_len} }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"convergence\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  {},\n  \"seed\": 42,\n  \"workload\": {{ \"puts\": {puts}, \"value_len\": {value_len} }},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        bench::host_json(1, "legacy"),
         scenarios.join(",\n")
     )
 }
@@ -654,7 +656,8 @@ fn protocol_json(
     scenarios: &[String],
 ) -> String {
     format!(
-        "{{\n  \"bench\": \"protocol\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  \"seed\": 42,\n  \"workload\": {{ \"puts\": {puts}, \"value_len\": {value_len} }},\n  \"pr3_baseline_events_per_sec\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"protocol\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  {},\n  \"seed\": 42,\n  \"workload\": {{ \"puts\": {puts}, \"value_len\": {value_len} }},\n  \"pr3_baseline_events_per_sec\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        bench::host_json(1, "legacy"),
         jf(pr3_events_per_sec),
         scenarios.join(",\n")
     )
@@ -681,7 +684,8 @@ fn pair_json(name: &str, unit: &str, entries: &[QueueNumbers]) -> String {
 
 fn engine_json(mode: &str, sections: &[String], sweep: &SweepNumbers) -> String {
     format!(
-        "{{\n  \"bench\": \"engine\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n{},\n  \"sweep\": {{ \"scenarios\": {}, \"workers\": {}, \"sequential_secs\": {}, \"parallel_secs\": {}, \"identical_results\": {} }}\n}}\n",
+        "{{\n  \"bench\": \"engine\",\n  \"schema_version\": 1,\n  \"mode\": \"{mode}\",\n  {},\n{},\n  \"sweep\": {{ \"scenarios\": {}, \"workers\": {}, \"sequential_secs\": {}, \"parallel_secs\": {}, \"identical_results\": {} }}\n}}\n",
+        bench::host_json(sweep.workers, "legacy"),
         sections.join(",\n"),
         sweep.scenarios,
         sweep.workers,

@@ -481,9 +481,10 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"delta\",\n  \"schema_version\": 1,\n  \"mode\": \"{}\",\n  \
+        "{{\n  \"bench\": \"delta\",\n  \"schema_version\": 1,\n  \"mode\": \"{}\",\n  {},\n  \
          \"cells\": [\n    {}\n  ],\n  \"pairs\": [\n    {}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
+        bench::host_json(workers, "legacy"),
         lines.join(",\n    "),
         pair_json.join(",\n    "),
     );

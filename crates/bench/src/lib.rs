@@ -14,3 +14,25 @@
 //!
 //! Run with `cargo bench --workspace` or a single target, e.g.
 //! `cargo bench -p bench --bench erasure_codec`.
+//!
+//! The `BENCH_*.json` writer binaries (`baseline`, `scale`, `delta`)
+//! share [`host_json`], so every recorded file carries the host context
+//! needed to read its numbers honestly (a 4-worker parallel cell on a
+//! single-core runner cannot speed up, and the record says so).
+
+/// Logical CPUs available to this process (1 when undetectable).
+pub fn nproc() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The host-context object embedded in every recorded `BENCH_*.json`:
+/// logical CPU count, the worker-thread count the run was launched with,
+/// and the simulation engine mode driving it.
+pub fn host_json(workers: usize, engine: &str) -> String {
+    format!(
+        "\"host\": {{ \"nproc\": {}, \"workers\": {workers}, \"engine\": \"{engine}\" }}",
+        nproc()
+    )
+}

@@ -13,7 +13,7 @@
 //! * `2` — scan error (unreadable root)
 //! * `100 + bitmask` — findings; bit *i* set when rule *i* (in `--rules`
 //!   order) fired. E.g. `101` = only `hash-collections`, `132` = only
-//!   `hot-path-alloc` (bit 5).
+//!   `hot-path-alloc` (bit 5), `164` = only `shared-mutable` (bit 6).
 
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -4,14 +4,16 @@
 //!
 //! * `--list` — scan the workspace and print every mutation site with its
 //!   stable id (`operator:file-stem:occurrence`).
-//! * `--smoke` — run the 12 pinned protocol mutants
+//! * `--smoke` — run the 13 pinned protocol mutants
 //!   ([`check::mutate::PINNED_SMOKE`]) against the explorer smoke sweep
 //!   (run in `--delta` mode so overwrites exercise the XOR-delta stripe
 //!   path, plus the `--scale` spot check, whose digest line pins the
-//!   compacted-version count) and gate on the kill-rate: **≥ 10 of 12**
-//!   must be killed (invariant violation, digest mismatch, crash or
-//!   timeout). Surviving mutants print their source diff. Exit 1 when
-//!   the gate fails.
+//!   compacted-version count, plus an engine-differential pass: the same
+//!   smoke sweep under `--engine sharded` and `--engine parallel
+//!   --workers 2`, whose digests must stay byte-identical) and gate on
+//!   the kill-rate: **≥ 11 of 13** must be killed (invariant violation,
+//!   digest mismatch, crash or timeout). Surviving mutants print their
+//!   source diff. Exit 1 when the gate fails.
 //! * `--id ID` (repeatable) — run specific mutants by id.
 //!
 //! `--bench-out PATH` additionally records `BENCH_analysis.json`: the
@@ -27,7 +29,7 @@ use std::time::{Duration, Instant};
 use check::{analysis, mutate};
 
 /// Minimum pinned mutants that must be killed for `--smoke` to pass.
-const SMOKE_KILL_GATE: usize = 10;
+const SMOKE_KILL_GATE: usize = 11;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");

@@ -6,7 +6,10 @@
 //! registry as a [`simnet::Simulation::set_inspector`] hook, so every
 //! property is re-examined after **every** processed event — a violation is
 //! caught at the earliest event that exhibits it, not at quiescence, and
-//! the recorded event index pins it in the message trace.
+//! the recorded event index pins it in the message trace. Under the
+//! sharded engine the inspector instead fires at every round barrier —
+//! the same properties, sampled at the engine's natural consistency
+//! points.
 //!
 //! The registry assumes the cluster runs the **standard workload**
 //! ([`Client::standard_workload`]): workload key `i + 1` holds
@@ -28,7 +31,7 @@ use pahoehoe::messages::Message;
 use pahoehoe::topology::Topology;
 use pahoehoe::types::ObjectVersion;
 use pahoehoe::Policy;
-use simnet::{Disposition, NodeId, RunOutcome, SimTime, Simulation};
+use simnet::{Disposition, NodeId, RunOutcome, SimTime, SimView};
 
 /// One observed breach of a protocol invariant.
 #[derive(Debug, Clone)]
@@ -48,8 +51,8 @@ pub struct Violation {
 /// facts (topology, node ids, workload shape) captured when the checker
 /// was installed.
 pub struct ClusterView<'a> {
-    /// The simulation, mid-run or after the run.
-    pub sim: &'a Simulation<Message>,
+    /// The simulation, mid-run or after the run (either engine).
+    pub sim: &'a dyn SimView<Message>,
     /// Cluster topology (which nodes are KLSs/FSs, per data center).
     pub topo: &'a Topology,
     /// All fragment-server node ids.
@@ -619,7 +622,7 @@ struct StaticCtx {
 }
 
 impl StaticCtx {
-    fn view<'a>(&'a self, sim: &'a Simulation<Message>) -> ClusterView<'a> {
+    fn view<'a>(&'a self, sim: &'a dyn SimView<Message>) -> ClusterView<'a> {
         ClusterView {
             sim,
             topo: &self.topo,
@@ -645,7 +648,7 @@ struct CheckerState {
 }
 
 impl CheckerState {
-    fn check_event(&mut self, sim: &Simulation<Message>) {
+    fn check_event(&mut self, sim: &dyn SimView<Message>) {
         if self.violation.is_some() {
             return; // first violation wins; keep the run cheap afterwards
         }
@@ -668,7 +671,7 @@ impl CheckerState {
         }
     }
 
-    fn check_final(&mut self, sim: &Simulation<Message>, outcome: RunOutcome) {
+    fn check_final(&mut self, sim: &dyn SimView<Message>, outcome: RunOutcome) {
         if self.violation.is_some() {
             return;
         }
@@ -728,9 +731,7 @@ impl Checker {
             events_since_check: 0,
         }));
         let hook = Rc::clone(&state);
-        cluster
-            .sim_mut()
-            .set_inspector(move |sim| hook.borrow_mut().check_event(sim));
+        cluster.set_view_inspector(move |sim| hook.borrow_mut().check_event(sim));
         Checker { state }
     }
 
@@ -742,7 +743,7 @@ impl Checker {
     /// Runs every invariant's end-of-run check and returns the first
     /// violation observed anywhere in the run, if any.
     pub fn finish(self, cluster: &Cluster, outcome: RunOutcome) -> Option<Violation> {
-        self.state.borrow_mut().check_final(cluster.sim(), outcome);
+        self.state.borrow_mut().check_final(cluster.view(), outcome);
         let state = self.state.borrow();
         state.violation.clone()
     }

@@ -72,6 +72,25 @@ pub const RULES: &[(&str, &str)] = &[
         "to_vec()/Vec::new inside a function marked hot: declared allocation-free hot paths \
          must write into caller-owned scratch",
     ),
+    (
+        "shared-mutable",
+        "static mut / Atomic* / lazy_static / OnceLock / LazyLock / OnceCell: cross-actor \
+         mutable globals leak state between runs and across parallel shards; keep mutable \
+         state inside actors or the engine",
+    ),
+];
+
+/// Files (matched by path suffix) allowed to hold process-global mutable
+/// state for the `shared-mutable` rule. Each is a deliberate, documented
+/// process-wide switch — protocol/codec/queue mode toggles read once at
+/// construction — not simulation-visible state. Everything else, in
+/// particular the parallel engine, must stay free of shared mutability so
+/// worker scheduling cannot leak into a run.
+pub const SHARED_MUTABLE_ALLOWED: &[&str] = &[
+    "crates/simnet/src/engine.rs",
+    "crates/pahoehoe/src/protocol.rs",
+    "crates/erasure/src/checksum.rs",
+    "crates/erasure/src/codec.rs",
 ];
 
 /// Index of `rule` in [`RULES`] — the bit it occupies in the CLI's
@@ -216,6 +235,11 @@ fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding
             "new" if in_hot(i) && rustlite::preceded_by(toks, i, "Vec") => {
                 push(i, "hot-path-alloc")
             }
+            "static" if ident(toks, i + 1) == Some("mut") => push(i, "shared-mutable"),
+            "lazy_static" | "OnceLock" | "LazyLock" | "OnceCell" => push(i, "shared-mutable"),
+            // Atomic types by prefix (AtomicBool, AtomicU8, ...); plain
+            // `Ordering` never fires — it names a policy, not state.
+            id if id.starts_with("Atomic") => push(i, "shared-mutable"),
             _ => {}
         }
         if (id.ends_with("Map") || id.ends_with("Set")) && punct(toks, i + 1) == Some('<') {
@@ -233,14 +257,22 @@ fn scan_tokens(toks: &[Spanned], src_lines: &[&str], file: &Path) -> Vec<Finding
 // Entry points
 // ---------------------------------------------------------------------------
 
+/// Whether `file` sits on the [`SHARED_MUTABLE_ALLOWED`] allowlist.
+fn shared_mutable_allowed_file(file: &Path) -> bool {
+    let p = file.to_string_lossy().replace('\\', "/");
+    SHARED_MUTABLE_ALLOWED.iter().any(|sfx| p.ends_with(sfx))
+}
+
 /// Lints one file's source text.
 pub fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
     let code = rustlite::strip_noncode(src);
     let toks = rustlite::tokenize(&code);
     let lines: Vec<&str> = src.lines().collect();
     let allows = allows_by_line(src);
+    let shared_ok = shared_mutable_allowed_file(file);
     scan_tokens(&toks, &lines, file)
         .into_iter()
+        .filter(|f| !(shared_ok && f.rule == "shared-mutable"))
         .filter(|f| !allowed(&allows, &lines, f.line, f.rule))
         .collect()
 }
@@ -435,6 +467,70 @@ mod tests {
     fn rule_bits_are_stable() {
         assert_eq!(rule_bit("hash-collections"), Some(0));
         assert_eq!(rule_bit("hot-path-alloc"), Some(5));
+        assert_eq!(rule_bit("shared-mutable"), Some(6));
         assert_eq!(rule_bit("nonexistent"), None);
+    }
+
+    #[test]
+    fn flags_shared_mutable_state() {
+        let rules = |src: &str| -> Vec<&'static str> {
+            lint_str(src).into_iter().map(|f| f.rule).collect()
+        };
+        assert_eq!(
+            rules("static mut COUNTER: u32 = 0;"),
+            vec!["shared-mutable"]
+        );
+        assert_eq!(
+            rules("static FLAG: AtomicBool = AtomicBool::new(false);"),
+            vec!["shared-mutable", "shared-mutable"]
+        );
+        assert_eq!(
+            rules("let n = AtomicUsize::new(0);"),
+            vec!["shared-mutable"]
+        );
+        assert_eq!(
+            rules("static CELL: OnceLock<u32> = OnceLock::new();"),
+            vec!["shared-mutable", "shared-mutable"]
+        );
+        assert_eq!(rules("use std::sync::LazyLock;"), vec!["shared-mutable"]);
+        assert_eq!(
+            rules("use once_cell::sync::OnceCell;"),
+            vec!["shared-mutable"]
+        );
+        assert_eq!(rules("lazy_static! { }"), vec!["shared-mutable"]);
+    }
+
+    #[test]
+    fn shared_mutable_ignores_benign_lookalikes() {
+        // `Ordering` names a memory-order policy, not shared state.
+        assert!(lint_str("use std::sync::atomic::Ordering;").is_empty());
+        assert!(lint_str("x.load(Ordering::Relaxed);").is_empty());
+        // Immutable statics and interior-mutability-free types are fine.
+        assert!(lint_str("static NAME: &str = \"pahoehoe\";").is_empty());
+        assert!(lint_str("let c = std::cell::Cell::new(0);").is_empty());
+        // Mentions in comments and strings never fire.
+        assert!(lint_str("// static mut is forbidden\n").is_empty());
+        assert!(lint_str("let s = \"AtomicBool\";").is_empty());
+    }
+
+    #[test]
+    fn shared_mutable_allowlist_is_path_scoped() {
+        let src = "static M: AtomicBool = AtomicBool::new(false);";
+        for sfx in SHARED_MUTABLE_ALLOWED {
+            let path = PathBuf::from("/work").join(sfx);
+            assert!(
+                lint_source(&path, src).is_empty(),
+                "{sfx} is allowlisted for process-wide switches"
+            );
+        }
+        // The parallel engine is deliberately NOT allowlisted: shared
+        // mutability there could leak worker scheduling into a run.
+        let findings = lint_source(Path::new("/work/crates/simnet/src/parallel.rs"), src);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == "shared-mutable"));
+        // lint:allow still works on non-allowlisted files.
+        let allowed_src = "static M: AtomicBool = AtomicBool::new(false); \
+                           // lint:allow(shared-mutable)";
+        assert!(lint_source(Path::new("/work/crates/x/src/lib.rs"), allowed_src).is_empty());
     }
 }

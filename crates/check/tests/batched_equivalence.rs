@@ -19,7 +19,7 @@ fn workload() -> WorkloadCfg {
     WorkloadCfg {
         puts: 4,
         value_len: 2048,
-        rounds: 1,
+        ..WorkloadCfg::default()
     }
 }
 

@@ -19,7 +19,7 @@ fn injected_corruption_is_caught_and_shrunk() {
         workload: WorkloadCfg {
             puts: 2,
             value_len: 2048,
-            rounds: 1,
+            ..WorkloadCfg::default()
         },
     };
     let result = sweep(&cfg, Injection::CorruptFragment, |_, _| {});
@@ -79,7 +79,7 @@ fn clean_mini_sweep_reports_no_violation() {
         workload: WorkloadCfg {
             puts: 2,
             value_len: 2048,
-            rounds: 1,
+            ..WorkloadCfg::default()
         },
     };
     let mut seen = 0;

@@ -123,6 +123,25 @@ fn detects_stripe_cache_lookup_regressions() {
 }
 
 #[test]
+fn detects_shared_mutable_state() {
+    let findings = lint_file(&fixture("shared_mutable.rs")).unwrap();
+    assert_eq!(rules_hit(&findings), ["shared-mutable"]);
+    assert_eq!(
+        findings.len(),
+        11,
+        "imports, static mut, atomics, OnceLock, lazy_static, LazyLock: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.excerpt.contains("static mut")),
+        "static mut flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.excerpt.contains("lazy_static")),
+        "lazy_static flagged: {findings:?}"
+    );
+}
+
+#[test]
 fn allow_markers_and_noncode_text_suppress() {
     let findings = lint_file(&fixture("allowed.rs")).unwrap();
     assert!(findings.is_empty(), "expected clean, got: {findings:?}");

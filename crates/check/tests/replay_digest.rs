@@ -25,7 +25,7 @@ fn identical_seeds_replay_byte_identically() {
     let wl = WorkloadCfg {
         puts: 3,
         value_len: 2048,
-        rounds: 1,
+        ..WorkloadCfg::default()
     };
     let sc = faulty_scenario(42);
     let a = run_scenario(&sc, &wl, Injection::None, true);
@@ -46,7 +46,7 @@ fn different_seeds_diverge() {
     let wl = WorkloadCfg {
         puts: 2,
         value_len: 2048,
-        rounds: 1,
+        ..WorkloadCfg::default()
     };
     let a = run_scenario(&faulty_scenario(1), &wl, Injection::None, true);
     let b = run_scenario(&faulty_scenario(2), &wl, Injection::None, true);

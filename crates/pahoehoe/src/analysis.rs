@@ -12,7 +12,7 @@
 
 use std::collections::BTreeSet;
 
-use simnet::{NodeId, Simulation};
+use simnet::{NodeId, SimView};
 
 use crate::fs::Fs;
 use crate::kls::Kls;
@@ -22,7 +22,7 @@ use crate::types::ObjectVersion;
 
 /// Object versions with at least `k` distinct fragments stored across the
 /// given fragment servers.
-pub fn durable_versions(sim: &Simulation<Message>, fss: &[NodeId]) -> BTreeSet<ObjectVersion> {
+pub fn durable_versions(sim: &dyn SimView<Message>, fss: &[NodeId]) -> BTreeSet<ObjectVersion> {
     let mut out = BTreeSet::new();
     let mut seen: BTreeSet<ObjectVersion> = BTreeSet::new();
     for &fs in fss {
@@ -50,7 +50,7 @@ pub fn durable_versions(sim: &Simulation<Message>, fss: &[NodeId]) -> BTreeSet<O
 
 /// Every object version any KLS or FS has heard of.
 pub fn known_versions(
-    sim: &Simulation<Message>,
+    sim: &dyn SimView<Message>,
     klss: &[NodeId],
     fss: &[NodeId],
 ) -> BTreeSet<ObjectVersion> {
@@ -65,7 +65,7 @@ pub fn known_versions(
 }
 
 /// Whether `ov` is globally at maximum redundancy.
-pub fn is_amr(sim: &Simulation<Message>, topo: &Topology, ov: ObjectVersion) -> bool {
+pub fn is_amr(sim: &dyn SimView<Message>, topo: &Topology, ov: ObjectVersion) -> bool {
     // Every KLS must hold complete metadata.
     let mut meta = None;
     for kls in topo.all_klss() {

@@ -1,0 +1,288 @@
+//! Differential tests across simulation engines.
+//!
+//! The same scenario is driven through all three engines:
+//!
+//! * **sequential-sharded vs parallel** (`Sharded { workers: 1 }` vs
+//!   `workers: 2..=4`): byte-identical — same final server states, same
+//!   event count, same virtual clock, same metrics. Worker count is pure
+//!   execution strategy.
+//! * **legacy vs sequential-sharded**: *AMR-outcome equivalent*. The
+//!   sharded engine draws latencies and drops from per-shard RNG streams,
+//!   so the event interleaving legitimately differs from the legacy
+//!   single-RNG engine; what must agree is the protocol-level ledger —
+//!   both converge, every put eventually succeeds, and every durable
+//!   version settles at maximum redundancy. On clean networks (no loss,
+//!   no faults) the full report matches field-for-field.
+
+use pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout, ConvergenceReport, EngineMode};
+use pahoehoe::fs::Fs;
+use pahoehoe::kls::Kls;
+use pahoehoe::protocol::ProtocolMode;
+use proptest::prelude::*;
+use simnet::{FaultPlan, NetworkConfig, RunOutcome, SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    puts: usize,
+    value_len: usize,
+    drop_pct: u8,
+    dup_pct: u8,
+    /// `(node index, start secs, duration secs)` outages.
+    outages: Vec<(u32, u64, u64)>,
+    /// Knock out every server of DC 1 for this many seconds from t=0.
+    dc_outage_secs: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let outage = (0u32..10, 0u64..60, 30u64..180);
+    (
+        any::<u64>(),
+        1usize..4,
+        (0usize..3).prop_map(|i| [512usize, 4096, 16 * 1024][i]),
+        0u8..8,
+        0u8..5,
+        proptest::collection::vec(outage, 0..3),
+        (0u64..3).prop_map(|s| s * 60),
+    )
+        .prop_map(
+            |(seed, puts, value_len, drop_pct, dup_pct, outages, dc_outage_secs)| Scenario {
+                seed,
+                puts,
+                value_len,
+                drop_pct,
+                dup_pct,
+                outages,
+                dc_outage_secs,
+            },
+        )
+}
+
+fn build(sc: &Scenario, engine: EngineMode) -> Cluster {
+    let layout = ClusterLayout {
+        dcs: 2,
+        kls_per_dc: 2,
+        fs_per_dc: 3,
+    };
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.layout = layout;
+    cfg.engine = engine;
+    cfg.protocol = ProtocolMode::optimized();
+    cfg.workload_puts = sc.puts;
+    cfg.workload_value_len = sc.value_len;
+    cfg.network = NetworkConfig {
+        drop_rate: f64::from(sc.drop_pct) / 100.0,
+        duplicate_rate: f64::from(sc.dup_pct) / 100.0,
+        ..NetworkConfig::paper_default()
+    };
+    let mut faults = FaultPlan::none();
+    for &(node, start, dur) in &sc.outages {
+        faults.add_node_outage(
+            simnet::NodeId::new(node),
+            SimTime::ZERO + SimDuration::from_secs(start),
+            SimDuration::from_secs(dur),
+        );
+    }
+    if sc.dc_outage_secs > 0 {
+        for node in layout.dc_nodes(1) {
+            faults.add_node_outage(
+                node,
+                SimTime::ZERO,
+                SimDuration::from_secs(sc.dc_outage_secs),
+            );
+        }
+    }
+    Cluster::build_with_faults(cfg, sc.seed, faults)
+}
+
+/// Engine-agnostic canonical rendering of every server's final state
+/// (mirrors the differential suite's digest, but through [`Cluster`]'s
+/// view-based accessors so it works under any engine).
+fn state_digest(cluster: &Cluster) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let topo = cluster.topology().clone();
+    for id in topo.all_klss() {
+        let kls: &Kls = cluster.kls(id);
+        write!(out, "KLS {id:?}:").unwrap();
+        let mut ovs: Vec<_> = kls.known_versions().collect();
+        ovs.sort();
+        for ov in ovs {
+            write!(out, " {ov:?}={:?}", kls.meta(ov).expect("known")).unwrap();
+        }
+        out.push('\n');
+    }
+    for id in topo.all_fss() {
+        let fs: &Fs = cluster.fs(id);
+        write!(out, "FS {id:?}:").unwrap();
+        let mut ovs: Vec<_> = fs.known_versions().collect();
+        ovs.sort();
+        for ov in ovs {
+            write!(
+                out,
+                " {ov:?}[v={} settled={:?} entry={:?}]",
+                fs.verified(ov),
+                fs.amr_settled_at(ov),
+                fs.entry(ov),
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Full byte-level digest for the sharded-vs-parallel comparison.
+fn full_digest(cluster: &Cluster) -> String {
+    format!(
+        "now={} events={} metrics={:?}\n{}",
+        cluster.view().now(),
+        cluster.view().events_processed(),
+        cluster.view().metrics(),
+        state_digest(cluster)
+    )
+}
+
+fn run(sc: &Scenario, engine: EngineMode) -> (ConvergenceReport, String) {
+    let mut cluster = build(sc, engine);
+    let report = cluster.run_to_convergence();
+    let digest = full_digest(&cluster);
+    (report, digest)
+}
+
+/// The AMR-outcome ledger both engine families must agree on for any
+/// converging scenario, no matter how their RNG streams interleave.
+fn assert_amr_outcome_equivalent(sc: &Scenario, a: &ConvergenceReport, b: &ConvergenceReport) {
+    assert_eq!(a.outcome, RunOutcome::PredicateSatisfied, "{sc:?}");
+    assert_eq!(b.outcome, RunOutcome::PredicateSatisfied, "{sc:?}");
+    // The client retries every put until the proxy reports success, so
+    // convergence implies a full success ledger on both engines.
+    assert_eq!(a.puts_succeeded, sc.puts as u64, "{sc:?}");
+    assert_eq!(b.puts_succeeded, sc.puts as u64, "{sc:?}");
+    for (label, r) in [("a", a), ("b", b)] {
+        // Termination condition: nothing durable is left un-settled.
+        assert_eq!(r.durable_not_amr, 0, "engine {label}: {sc:?}");
+        // Every successful put's version is AMR; failed attempts account
+        // for exactly the excess-AMR plus non-durable remainder.
+        assert_eq!(
+            r.amr_versions as u64,
+            r.puts_succeeded + r.excess_amr as u64,
+            "engine {label}: {sc:?}"
+        );
+        assert!(
+            r.puts_attempted >= r.puts_succeeded,
+            "engine {label}: {sc:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tentpole determinism, protocol edition: the parallel engine at any
+    /// worker count is byte-identical to sequential-sharded — same final
+    /// KLS/FS states, event count, clock and metrics — over random
+    /// workloads, loss rates, node outages and whole-DC outages.
+    #[test]
+    fn parallel_workers_are_byte_invisible(sc in scenario_strategy()) {
+        let (seq_report, seq_digest) = run(&sc, EngineMode::Sharded { workers: 1 });
+        for workers in 2..=4usize {
+            let (report, digest) = run(&sc, EngineMode::Sharded { workers });
+            prop_assert_eq!(&digest, &seq_digest, "workers={} diverged", workers);
+            prop_assert_eq!(report.outcome, seq_report.outcome);
+            prop_assert_eq!(report.puts_attempted, seq_report.puts_attempted);
+            prop_assert_eq!(&report.time_to_amr, &seq_report.time_to_amr);
+        }
+    }
+
+    /// Differential oracle against the legacy engine: the sharded engine
+    /// reaches the same AMR outcome on every scenario, including lossy
+    /// networks, per-node fault plans and whole-DC outages.
+    #[test]
+    fn sharded_engine_is_amr_outcome_equivalent_to_legacy(sc in scenario_strategy()) {
+        let (legacy, _) = run(&sc, EngineMode::Legacy);
+        let (sharded, _) = run(&sc, EngineMode::Sharded { workers: 1 });
+        assert_amr_outcome_equivalent(&sc, &legacy, &sharded);
+    }
+
+    /// On a clean fault-free network the engines' reports agree
+    /// field-for-field: no drops means no retries, no excess AMR and no
+    /// non-durable versions on either engine.
+    #[test]
+    fn clean_network_reports_match_exactly(
+        seed: u64,
+        puts in 1usize..4,
+        value_len in (0usize..3).prop_map(|i| [512usize, 4096, 16 * 1024][i]),
+    ) {
+        let sc = Scenario {
+            seed,
+            puts,
+            value_len,
+            drop_pct: 0,
+            dup_pct: 0,
+            outages: Vec::new(),
+            dc_outage_secs: 0,
+        };
+        let (legacy, _) = run(&sc, EngineMode::Legacy);
+        let (sharded, _) = run(&sc, EngineMode::Sharded { workers: 1 });
+        for r in [&legacy, &sharded] {
+            prop_assert_eq!(r.outcome, RunOutcome::PredicateSatisfied);
+            prop_assert_eq!(r.puts_attempted, puts as u64);
+            prop_assert_eq!(r.puts_succeeded, puts as u64);
+            prop_assert_eq!(r.amr_versions, puts);
+            prop_assert_eq!(r.excess_amr, 0);
+            prop_assert_eq!(r.non_durable, 0);
+            prop_assert_eq!(r.durable_not_amr, 0);
+        }
+    }
+}
+
+/// Scripted whole-DC blackout: DC 1 is dark for the first five minutes
+/// while the client writes through DC 0. Both engine families converge
+/// with a full success ledger and the parallel engine stays
+/// byte-identical to sequential-sharded through the outage.
+#[test]
+fn dc_outage_converges_on_every_engine() {
+    let sc = Scenario {
+        seed: 42,
+        puts: 3,
+        value_len: 4096,
+        drop_pct: 2,
+        dup_pct: 0,
+        outages: Vec::new(),
+        dc_outage_secs: 300,
+    };
+    let (legacy, _) = run(&sc, EngineMode::Legacy);
+    let (sharded, sharded_digest) = run(&sc, EngineMode::Sharded { workers: 1 });
+    assert_amr_outcome_equivalent(&sc, &legacy, &sharded);
+    let (parallel, parallel_digest) = run(&sc, EngineMode::Sharded { workers: 4 });
+    assert_eq!(parallel_digest, sharded_digest);
+    assert_eq!(parallel.outcome, sharded.outcome);
+}
+
+/// The engine-mode CLI spelling round-trips.
+#[test]
+fn engine_mode_parses_cli_spellings() {
+    assert_eq!(EngineMode::parse("legacy", 4), Some(EngineMode::Legacy));
+    assert_eq!(
+        EngineMode::parse("sharded", 4),
+        Some(EngineMode::Sharded { workers: 1 })
+    );
+    assert_eq!(
+        EngineMode::parse("parallel", 4),
+        Some(EngineMode::Sharded { workers: 4 })
+    );
+    assert_eq!(
+        EngineMode::parse("parallel", 0),
+        Some(EngineMode::Sharded { workers: 2 })
+    );
+    assert_eq!(EngineMode::parse("turbo", 1), None);
+    for (mode, label) in [
+        (EngineMode::Legacy, "legacy"),
+        (EngineMode::Sharded { workers: 1 }, "sharded"),
+        (EngineMode::Sharded { workers: 4 }, "parallel"),
+    ] {
+        assert_eq!(mode.label(), label);
+        assert_eq!(EngineMode::parse(label, mode.workers()), Some(mode));
+    }
+}

@@ -20,7 +20,7 @@ cargo run -p check --bin lint
 echo "==> semantic analyzer (workspace must be clean)"
 cargo run -p check --release --bin analyze
 
-echo "==> mutation smoke (pinned 12 mutants, kill-rate gate >= 10/12)"
+echo "==> mutation smoke (pinned 13 mutants, kill-rate gate >= 11/13)"
 # Surviving mutants print their diff; the binary exits 1 below the gate.
 cargo run -p check --release --bin mutate -- --smoke --bench-out BENCH_analysis.json
 python3 -m json.tool BENCH_analysis.json > /dev/null
@@ -32,6 +32,17 @@ echo "==> invariant explorer (smoke sweep, parallel harness)"
 cargo run -p check --release --bin explore -- --smoke --scale --workers 2 --digest-out target/digest-par.txt
 cmp target/digest-seq.txt target/digest-par.txt
 echo "    parallel sweep digest (incl. scale line) is byte-identical to sequential"
+
+echo "==> invariant explorer (smoke sweep, parallel engine vs sequential-sharded)"
+# The same smoke sweep executed inside the simulation engines themselves:
+# sequential-sharded (one logical process per DC, run in-place) must be
+# byte-identical to true parallel execution at 2 workers. --mesh adds the
+# 3-DC constant-latency spot check whose round-boundary ties exercise the
+# (time, src-shard, seq) mailbox-merge tie-break.
+cargo run -p check --release --bin explore -- --smoke --engine sharded --mesh --digest-out target/digest-eng-seq.txt
+cargo run -p check --release --bin explore -- --smoke --engine parallel --workers 2 --mesh --digest-out target/digest-eng-par2.txt
+cmp target/digest-eng-seq.txt target/digest-eng-par2.txt
+echo "    parallel-engine digest (incl. mesh line) is byte-identical to sequential-sharded"
 
 echo "==> invariant explorer (smoke sweep, batched protocol rounds)"
 cargo run -p check --release --bin explore -- --smoke --protocol batched
@@ -51,7 +62,7 @@ python3 -m json.tool BENCH_engine.json > /dev/null
 python3 -m json.tool BENCH_convergence.json > /dev/null
 python3 -m json.tool BENCH_protocol.json > /dev/null
 
-echo "==> bench scale (smoke)"
+echo "==> bench scale (smoke, incl. a parallel-engine cell at 2 workers)"
 cargo run -p bench --release --bin scale -- --smoke
 python3 -m json.tool BENCH_scale.json > /dev/null
 
