@@ -54,6 +54,14 @@
 //!   `(time, src-shard, seq)` mailbox tie-break is observable (the
 //!   paper-shaped sweep scenarios, with one peer per shard, cannot see
 //!   it). Its digest line is appended to `--digest-out`;
+//! * `--repair` — after the sweep, run the repair-engine churn check:
+//!   four scenario families (sustained disk churn, whole-rack outage,
+//!   flash-crowd reads during rebuild, throttled repair storm) on
+//!   rack-aware repair-enabled clusters, under the redundancy-floor
+//!   invariant. One digest line per family — folding the `EV_REPAIR_*`
+//!   counters and the final redundancy floor — is appended to
+//!   `--digest-out`. Always runs on the legacy engine, so the digest is
+//!   independent of harness parallelism;
 //! * `--quiet` — suppress per-scenario progress lines.
 
 use std::path::PathBuf;
@@ -67,7 +75,7 @@ fn usage() -> ! {
          [--inject-corruption] [--trace-out PATH] [--workers N] \
          [--engine legacy|sharded|parallel] [--digest-out PATH] \
          [--protocol reference|optimized|batched] [--delta] [--scale] \
-         [--mesh] [--quiet]"
+         [--mesh] [--repair] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -81,6 +89,7 @@ fn main() -> ExitCode {
     let mut engine: Option<String> = None;
     let mut scale = false;
     let mut mesh = false;
+    let mut repair = false;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -127,6 +136,7 @@ fn main() -> ExitCode {
             }
             "--scale" => scale = true,
             "--mesh" => mesh = true,
+            "--repair" => repair = true,
             "--quiet" => quiet = true,
             _ => usage(),
         }
@@ -244,6 +254,34 @@ fn main() -> ExitCode {
         mesh_violation = out.violation;
     }
 
+    let mut repair_violation = None;
+    if repair {
+        let repair_cfg = explorer::RepairCheckCfg::smoke();
+        let out = explorer::run_repair_check(&repair_cfg);
+        for family in &out.families {
+            if !quiet {
+                println!(
+                    "[repair-{}] seed={} puts={} -> {} events, min_live={}{}",
+                    family.name,
+                    repair_cfg.seed,
+                    repair_cfg.puts,
+                    family.events,
+                    family.min_live,
+                    if family.violation.is_some() {
+                        "  ** VIOLATION **"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            if digest_out.is_some() {
+                digest.push_str(&explorer::repair_digest_line(&repair_cfg, family));
+                digest.push('\n');
+            }
+        }
+        repair_violation = out.violation().cloned();
+    }
+
     if let Some(path) = &digest_out {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
@@ -277,6 +315,20 @@ fn main() -> ExitCode {
         println!();
         println!(
             "INVARIANT VIOLATED in mesh check: {} — {}",
+            v.invariant, v.detail
+        );
+        println!(
+            "  at event {} / {:.3}s virtual",
+            v.events_processed,
+            v.sim_time.as_secs_f64()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(v) = repair_violation {
+        println!();
+        println!(
+            "INVARIANT VIOLATED in repair check: {} — {}",
             v.invariant, v.detail
         );
         println!(

@@ -4,16 +4,18 @@
 //!
 //! * `--list` — scan the workspace and print every mutation site with its
 //!   stable id (`operator:file-stem:occurrence`).
-//! * `--smoke` — run the 13 pinned protocol mutants
+//! * `--smoke` — run the 14 pinned protocol mutants
 //!   ([`check::mutate::PINNED_SMOKE`]) against the explorer smoke sweep
 //!   (run in `--delta` mode so overwrites exercise the XOR-delta stripe
 //!   path, plus the `--scale` spot check, whose digest line pins the
-//!   compacted-version count, plus an engine-differential pass: the same
-//!   smoke sweep under `--engine sharded` and `--engine parallel
-//!   --workers 2`, whose digests must stay byte-identical) and gate on
-//!   the kill-rate: **≥ 11 of 13** must be killed (invariant violation,
-//!   digest mismatch, crash or timeout). Surviving mutants print their
-//!   source diff. Exit 1 when the gate fails.
+//!   compacted-version count, plus `--repair`, whose scenario families
+//!   exercise the background repair engine under the redundancy-floor
+//!   invariant, plus an engine-differential pass: the same smoke sweep
+//!   under `--engine sharded` and `--engine parallel --workers 2`, whose
+//!   digests must stay byte-identical) and gate on the kill-rate:
+//!   **≥ 12 of 14** must be killed (invariant violation, digest
+//!   mismatch, crash or timeout). Surviving mutants print their source
+//!   diff. Exit 1 when the gate fails.
 //! * `--id ID` (repeatable) — run specific mutants by id.
 //!
 //! `--bench-out PATH` additionally records `BENCH_analysis.json`: the
@@ -29,7 +31,7 @@ use std::time::{Duration, Instant};
 use check::{analysis, mutate};
 
 /// Minimum pinned mutants that must be killed for `--smoke` to pass.
-const SMOKE_KILL_GATE: usize = 11;
+const SMOKE_KILL_GATE: usize = 12;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -114,7 +116,14 @@ fn main() -> ExitCode {
     // compaction-skip mutant. `--delta` runs the sweep's workload for two
     // rounds under delta coding, so the overwrite path (and with it the
     // delta-resolve-skip mutant) is exercised under every invariant.
-    let sweep_args = ["--scale".to_string(), "--delta".to_string()];
+    // `--repair` runs the churn scenario families with the repair engine
+    // on, appending digest lines that fold the EV_REPAIR_* counters — the
+    // observables that kill repair-threshold-skip.
+    let sweep_args = [
+        "--scale".to_string(),
+        "--delta".to_string(),
+        "--repair".to_string(),
+    ];
     let harness = match mutate::Harness::prepare(&root, &sweep_args, timeout) {
         Ok(h) => h,
         Err(e) => {

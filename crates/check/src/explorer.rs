@@ -11,10 +11,13 @@
 //! the shrunk run's message trace for offline diagnosis.
 
 use pahoehoe::analysis;
+use pahoehoe::client::{Client, ClientOp};
 use pahoehoe::cluster::{Cluster, ClusterConfig, ClusterLayout, EngineMode};
 use pahoehoe::convergence::ConvergenceOptions;
 use pahoehoe::fs::{Fs, WAKE_TIMER_TAG};
 use pahoehoe::protocol::ProtocolMode;
+use pahoehoe::repair::RepairOptions;
+use pahoehoe::types::{Key, ObjectVersion};
 use pahoehoe::workload::{KeyDistribution, StreamingWorkload};
 use simnet::{FaultPlan, NetworkConfig, NodeId, RunOutcome, SimDuration, SimTime};
 
@@ -845,5 +848,271 @@ pub fn mesh_digest_line(cfg: &MeshCheckCfg, out: &MeshOutcome) -> String {
         out.events,
         out.sim_time.as_micros(),
         erasure::Checksum::of(out.metrics_digest.as_bytes()).as_u64(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Repair-engine churn check (`explore --repair`)
+// ---------------------------------------------------------------------------
+
+/// Configuration for the repair-engine spot check: four scenario families
+/// (sustained disk churn, whole-rack outage, a flash crowd of reads during
+/// rebuild, and a throttled repair storm), each on a rack-aware
+/// paper-default cluster with one [`RepairActor`](pahoehoe::repair)
+/// per DC. Always run on the legacy engine, so the digest is independent
+/// of harness parallelism.
+#[derive(Debug, Clone)]
+pub struct RepairCheckCfg {
+    /// Simulation seed shared by every family.
+    pub seed: u64,
+    /// Standard-workload puts per family.
+    pub puts: usize,
+    /// Blob size per put.
+    pub value_len: usize,
+    /// Per-event invariant sampling rate (small: repair runs are idle
+    /// between drain ticks, and the redundancy-floor grace clock starts
+    /// at the first *sampled* observation).
+    pub sample_every: u64,
+}
+
+impl RepairCheckCfg {
+    /// The CI smoke cell.
+    pub fn smoke() -> Self {
+        RepairCheckCfg {
+            seed: 42,
+            puts: 8,
+            value_len: 4096,
+            sample_every: 25,
+        }
+    }
+}
+
+/// What one repair scenario family observed.
+#[derive(Debug, Clone)]
+pub struct RepairFamilyOutcome {
+    /// Family name (`churn`, `rack`, `flash`, `storm`).
+    pub name: &'static str,
+    /// First invariant violation, if any.
+    pub violation: Option<Violation>,
+    /// Events processed.
+    pub events: u64,
+    /// Virtual time at the end of the run.
+    pub sim_time: SimTime,
+    /// Minimum cluster-wide live-fragment count over the workload's
+    /// acknowledged versions at end of run — `n` when the repair engine
+    /// restored everything, lower when it left objects degraded.
+    pub min_live: usize,
+    /// Final values of the `EV_REPAIR_*` dense counters, by registry
+    /// label. Events are invisible to the metrics debug rendering, so the
+    /// digest folds these explicitly.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Outcome of [`run_repair_check`]: one entry per scenario family.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Per-family results, in run order.
+    pub families: Vec<RepairFamilyOutcome>,
+}
+
+impl RepairOutcome {
+    /// The first invariant violation across all families, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.families.iter().find_map(|f| f.violation.as_ref())
+    }
+}
+
+/// The event counters folded into the repair digest.
+const REPAIR_COUNTERS: [&str; 7] = [
+    "repair_triggered",
+    "repair_completed",
+    "repair_abandoned",
+    "repair_bytes",
+    "repair_queue_depth",
+    "repair_throttle_stalls",
+    "degraded_reads",
+];
+
+/// The invariants a repair family runs under. Disk destruction is the
+/// whole point of these scenarios, so the durability-monotonicity family
+/// is out; the redundancy floor is the star.
+fn repair_invariants() -> Vec<Box<dyn crate::invariants::Invariant>> {
+    vec![
+        Box::new(crate::invariants::RedundancyFloor::new()),
+        Box::new(crate::invariants::MetricsSanity::new()),
+        Box::new(crate::invariants::ChecksumIntegrity),
+    ]
+}
+
+/// Builds one rack-aware, repair-enabled paper cluster, runs the standard
+/// workload to convergence, and hands it to `faults` for the family's
+/// destruction schedule. Returns the family outcome.
+fn run_repair_family(
+    name: &'static str,
+    cfg: &RepairCheckCfg,
+    opts: RepairOptions,
+    faults: impl FnOnce(&mut Cluster),
+) -> RepairFamilyOutcome {
+    let mut cc = ClusterConfig::paper_default();
+    cc.convergence.repair = Some(opts);
+    cc.racks_per_dc = Some(3);
+    cc.workload_puts = cfg.puts;
+    cc.workload_value_len = cfg.value_len;
+    let mut cluster = Cluster::build(cc, cfg.seed);
+    let checker = Checker::install_sampled(&mut cluster, repair_invariants(), cfg.sample_every);
+    let report = cluster.run_to_convergence();
+    debug_assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+
+    faults(&mut cluster);
+
+    // Settle: give the engine its full grace window (and then some) to
+    // re-protect whatever the last destruction window left degraded.
+    let deadline = cluster.view().now() + SimDuration::from_secs(420);
+    let outcome = cluster.run_until_time(deadline);
+    let violation = checker.finish(&cluster, outcome);
+
+    let acked: Vec<ObjectVersion> = cluster
+        .client()
+        .success_versions()
+        .iter()
+        .copied()
+        .collect();
+    let fss: Vec<NodeId> = cluster.topology().all_fss().collect();
+    let min_live = acked
+        .iter()
+        .map(|&ov| {
+            let mut distinct = std::collections::BTreeSet::new();
+            for &fs in &fss {
+                if let Some(entry) = cluster.fs(fs).entry(ov) {
+                    distinct.extend(entry.fragments.keys().copied());
+                }
+            }
+            distinct.len()
+        })
+        .min()
+        .unwrap_or(0);
+    let sim = cluster.view();
+    RepairFamilyOutcome {
+        name,
+        violation,
+        events: sim.events_processed(),
+        sim_time: sim.now(),
+        min_live,
+        counters: REPAIR_COUNTERS
+            .iter()
+            .map(|&label| (label, sim.metrics().event(label)))
+            .collect(),
+    }
+}
+
+/// Destroys the given disks of FS `(dc, i)` at the cluster's current
+/// virtual time. Destruction is confined to DC 0 in every family, so the
+/// remote DC always holds live donors and each object stays repairable.
+fn destroy(cluster: &mut Cluster, i: usize, disks: &[u8]) {
+    let victim = cluster.layout().fs(0, i);
+    let now = cluster.view().now();
+    for &disk in disks {
+        cluster.actor_mut::<Fs>(victim).destroy_disk(disk, now);
+    }
+}
+
+/// Runs all four repair scenario families.
+pub fn run_repair_check(cfg: &RepairCheckCfg) -> RepairOutcome {
+    let mut families = Vec::new();
+
+    // Sustained node churn: one disk dies every other virtual minute,
+    // rotating over DC 0's servers and disks. Damage accumulates until an
+    // object crosses the threshold, then the engine must restore it
+    // before the next window ends.
+    families.push(run_repair_family(
+        "churn",
+        cfg,
+        RepairOptions::paper_default(),
+        |cluster| {
+            for window in 0..6usize {
+                destroy(cluster, window % 3, &[(window / 3) as u8]);
+                let deadline = cluster.view().now() + SimDuration::from_secs(120);
+                cluster.run_until_time(deadline);
+            }
+        },
+    ));
+
+    // Whole-rack outage: with three racks per DC, rack 0 of DC 0 is one
+    // server; both its disks die at once, dropping every stripe to 4/6
+    // live in that DC.
+    families.push(run_repair_family(
+        "rack",
+        cfg,
+        RepairOptions::paper_default(),
+        |cluster| {
+            destroy(cluster, 0, &[0, 1]);
+        },
+    ));
+
+    // Flash crowd during rebuild: the same rack loss, immediately
+    // followed by a burst of reads racing the reconstruction — the
+    // degraded-read counter in the digest observes how many gets decoded
+    // around the hole.
+    let puts = cfg.puts;
+    families.push(run_repair_family(
+        "flash",
+        cfg,
+        RepairOptions::paper_default(),
+        move |cluster| {
+            destroy(cluster, 0, &[0, 1]);
+            let client_id = cluster.layout().client();
+            for burst in 0..3u64 {
+                for i in 0..puts as u64 {
+                    cluster
+                        .actor_mut::<Client>(client_id)
+                        .enqueue(ClientOp::Get {
+                            key: Key::from_u64(i + 1),
+                        });
+                }
+                cluster.schedule_timer(client_id, SimDuration::ZERO, 1);
+                let deadline = cluster.view().now() + SimDuration::from_secs(10 + burst);
+                cluster.run_until_time(deadline);
+            }
+        },
+    ));
+
+    // Repair storm under backpressure: two of DC 0's three servers lose
+    // both disks, and the token bucket is sized well under one job's
+    // cost, so the queue must drain over many throttle-stalled ticks —
+    // still inside the grace window.
+    families.push(run_repair_family(
+        "storm",
+        cfg,
+        RepairOptions::throttled(2048),
+        |cluster| {
+            destroy(cluster, 0, &[0, 1]);
+            destroy(cluster, 1, &[0, 1]);
+        },
+    ));
+
+    RepairOutcome { families }
+}
+
+/// The repair check's replay digest: one line per family, folding the
+/// repair event counters and the end-of-run redundancy floor. Counters
+/// are folded explicitly because dense events are deliberately excluded
+/// from the traffic-metrics debug rendering — without them a repair
+/// engine that never triggers would be digest-invisible.
+pub fn repair_digest_line(cfg: &RepairCheckCfg, family: &RepairFamilyOutcome) -> String {
+    let counters: String = family
+        .counters
+        .iter()
+        .map(|(label, v)| format!(" {label}={v}"))
+        .collect();
+    format!(
+        "repair-{} seed={} puts={} -> {} events={} t={}us min_live={}{}",
+        family.name,
+        cfg.seed,
+        cfg.puts,
+        family.violation.as_ref().map_or("ok", |v| v.invariant),
+        family.events,
+        family.sim_time.as_micros(),
+        family.min_live,
+        counters,
     )
 }

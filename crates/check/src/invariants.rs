@@ -28,10 +28,11 @@ use pahoehoe::client::Client;
 use pahoehoe::cluster::Cluster;
 use pahoehoe::fs::Fs;
 use pahoehoe::messages::Message;
-use pahoehoe::topology::Topology;
+use pahoehoe::repair::RepairOptions;
+use pahoehoe::topology::{DataCenterId, Topology};
 use pahoehoe::types::ObjectVersion;
-use pahoehoe::Policy;
-use simnet::{Disposition, NodeId, RunOutcome, SimTime, SimView};
+use pahoehoe::{Metadata, Policy};
+use simnet::{Disposition, NodeId, RunOutcome, SimDuration, SimTime, SimView};
 
 /// One observed breach of a protocol invariant.
 #[derive(Debug, Clone)]
@@ -65,6 +66,10 @@ pub struct ClusterView<'a> {
     pub value_len: usize,
     /// The durability policy of the workload's puts.
     pub policy: Policy,
+    /// The cluster's repair-engine configuration, if any. Invariants that
+    /// police the repair policy (e.g. [`RedundancyFloor`]) are vacuous
+    /// when this is `None`.
+    pub repair: Option<&'a RepairOptions>,
 }
 
 /// One checkable protocol property. Implementations may keep state across
@@ -594,6 +599,123 @@ impl Invariant for CompactionSafety {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Invariant 8: the repair engine keeps redundancy above its floor.
+// ---------------------------------------------------------------------------
+
+/// When a repair engine is configured, no object may *stay*
+/// repairable-but-under-protected: a version whose live fragments in some
+/// data center fall below `threshold_pct` of that DC's assignment count,
+/// while at least `k` fragments survive cluster-wide (so reconstruction is
+/// possible), must be restored above the threshold within the policy's
+/// grace window. Vacuous for clusters without a repair engine, so it is
+/// safe in the always-on registry.
+pub struct RedundancyFloor {
+    /// When each `(dc, version)` pair was first observed below threshold.
+    below_since: BTreeMap<(DataCenterId, ObjectVersion), SimTime>,
+}
+
+impl RedundancyFloor {
+    /// Creates the invariant with no under-protected versions recorded.
+    pub fn new() -> Self {
+        RedundancyFloor {
+            below_since: BTreeMap::new(),
+        }
+    }
+
+    fn scan(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        let Some(opts) = view.repair else {
+            return Ok(());
+        };
+        let k = usize::from(view.policy.k);
+        let now = view.sim.now();
+        struct LiveState {
+            per_dc: BTreeMap<DataCenterId, BTreeSet<u8>>,
+            global: BTreeSet<u8>,
+            meta: Arc<Metadata>,
+        }
+        let mut live: BTreeMap<ObjectVersion, LiveState> = BTreeMap::new();
+        for &fs in view.fss {
+            let Some(dc) = view.topo.dc_of(fs) else {
+                continue;
+            };
+            let actor = view.sim.actor::<Fs>(fs);
+            for ov in actor.known_versions() {
+                let Some(entry) = actor.entry(ov) else {
+                    continue;
+                };
+                let st = live.entry(ov).or_insert_with(|| LiveState {
+                    per_dc: BTreeMap::new(),
+                    global: BTreeSet::new(),
+                    meta: Arc::clone(&entry.meta),
+                });
+                for &idx in entry.fragments.keys() {
+                    st.per_dc.entry(dc).or_default().insert(idx);
+                    st.global.insert(idx);
+                }
+                // Per-DC location decisions are first-writer-wins, so any
+                // more complete metadata strictly extends the others.
+                if entry.meta.location_count() > st.meta.location_count() {
+                    st.meta = Arc::clone(&entry.meta);
+                }
+            }
+        }
+        let mut next: BTreeMap<(DataCenterId, ObjectVersion), SimTime> = BTreeMap::new();
+        for (&ov, st) in &live {
+            // Reconstruction needs k fragments somewhere in the cluster;
+            // with fewer the object is lost, not repair-engine-negligent.
+            if st.global.len() < k {
+                continue;
+            }
+            for dc in view.topo.dc_ids() {
+                let Some(locs) = st.meta.dc_locations(dc) else {
+                    continue;
+                };
+                let target = locs.len();
+                let dc_live = st.per_dc.get(&dc).map_or(0, BTreeSet::len);
+                let below = dc_live * 100 < opts.threshold_pct as usize * target;
+                if !below {
+                    continue;
+                }
+                let since = self.below_since.get(&(dc, ov)).copied().unwrap_or(now);
+                let elapsed =
+                    SimDuration::from_micros(now.as_micros().saturating_sub(since.as_micros()));
+                if elapsed > opts.grace {
+                    return Err(format!(
+                        "{ov:?} has been repairable but below the redundancy floor in \
+                         {dc} for {elapsed:?} (live {dc_live}/{target}, threshold \
+                         {}%, grace {:?})",
+                        opts.threshold_pct, opts.grace
+                    ));
+                }
+                next.insert((dc, ov), since);
+            }
+        }
+        self.below_since = next;
+        Ok(())
+    }
+}
+
+impl Default for RedundancyFloor {
+    fn default() -> Self {
+        RedundancyFloor::new()
+    }
+}
+
+impl Invariant for RedundancyFloor {
+    fn name(&self) -> &'static str {
+        "redundancy-floor"
+    }
+
+    fn check_event(&mut self, view: &ClusterView<'_>) -> Result<(), String> {
+        self.scan(view)
+    }
+
+    fn check_final(&mut self, view: &ClusterView<'_>, _outcome: RunOutcome) -> Result<(), String> {
+        self.scan(view)
+    }
+}
+
 /// The full registry: every invariant the explorer checks, in reporting
 /// order.
 pub fn registry() -> Vec<Box<dyn Invariant>> {
@@ -605,6 +727,7 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         Box::new(MetricsSanity::new()),
         Box::new(DurableMonotone::new()),
         Box::new(CompactionSafety),
+        Box::new(RedundancyFloor::new()),
     ]
 }
 
@@ -619,6 +742,7 @@ struct StaticCtx {
     clients: Vec<NodeId>,
     value_len: usize,
     policy: Policy,
+    repair: Option<RepairOptions>,
 }
 
 impl StaticCtx {
@@ -631,6 +755,7 @@ impl StaticCtx {
             clients: &self.clients,
             value_len: self.value_len,
             policy: self.policy,
+            repair: self.repair.as_ref(),
         }
     }
 }
@@ -722,6 +847,7 @@ impl Checker {
             clients: cluster.client_ids(),
             value_len: cluster.config().workload_value_len,
             policy: cluster.config().policy,
+            repair: cluster.config().convergence.repair.clone(),
         };
         let state = Rc::new(RefCell::new(CheckerState {
             invariants,

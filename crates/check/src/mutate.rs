@@ -18,7 +18,7 @@
 //!
 //! # Mutation operators
 //!
-//! Eight operators, each aimed at a protocol decision the paper's
+//! Nine operators, each aimed at a protocol decision the paper's
 //! correctness argument leans on (sites are discovered by scanning the
 //! *current* source, so they track refactors; the pinned CI set selects
 //! stable `(operator, file, occurrence)` ids):
@@ -33,9 +33,10 @@
 //! | `compaction-skip` | the converged-version compactor never fires |
 //! | `delta-resolve-skip` | the FS adopts a windowed delta stripe raw instead of resolving it |
 //! | `shard-merge-skip` | the parallel engine's mailbox merge drops the `(time, src-shard, seq)` tie-break |
+//! | `repair-threshold-skip` | the repair actor ignores `repair_threshold` and only triggers once local parity is exhausted |
 //!
 //! Every mutant runs three sweeps per build: the legacy smoke sweep
-//! (with the caller's extra args, e.g. `--scale --delta`), then the same
+//! (with the caller's extra args, e.g. `--scale --delta --repair`), then the same
 //! smoke sweep under `--engine sharded` and `--engine parallel
 //! --workers 2`. The three digests concatenate into one baseline, and
 //! the sharded/parallel pair must be byte-identical on the unmutated
@@ -93,6 +94,11 @@ pub const OPERATORS: &[(&str, &str)] = &[
         "the parallel engine's mailbox merge sorts by time only, dropping the \
          (time, src-shard, seq) tie-break that erases scheduling-dependent gather order",
     ),
+    (
+        "repair-threshold-skip",
+        "the repair actor ignores the configured `repair_threshold` and only triggers \
+         once local parity is exhausted (`live * 100 < pct * target` -> `live < k`)",
+    ),
 ];
 
 /// Files the operators scan, workspace-relative. Only protocol-decision
@@ -107,6 +113,7 @@ pub const TARGET_FILES: &[&str] = &[
     "crates/simnet/src/queue.rs",
     "crates/simnet/src/parallel.rs",
     "crates/erasure/src/checksum.rs",
+    "crates/pahoehoe/src/repair.rs",
 ];
 
 /// One concrete mutation: a byte-span replacement in one file.
@@ -332,6 +339,28 @@ pub fn scan_file(rel: &Path, src: &str) -> Vec<Mutation> {
         }
     }
 
+    // repair-threshold-skip: only meaningful in the repair actor. The
+    // mutant triggers only once local parity is exhausted (`live < k`)
+    // instead of at the configured percentage — with the paper policy
+    // (six local fragments, k = 4) a whole-server loss leaves the stripe
+    // at live = 4, which the threshold repairs but the mutant ignores.
+    // Killed by the `redundancy-floor` invariant (the stripe sits below
+    // threshold past the grace period) and, belt-and-braces, by the
+    // repair digest lines, which fold the EV_REPAIR_* counters
+    // (`repair_triggered` drops to zero in the rack family).
+    if stem == "repair" {
+        const THRESHOLD: &str =
+            "let below_threshold = live * 100 < u64::from(self.opts.threshold_pct) * target;";
+        for pos in occurrences(src, THRESHOLD) {
+            push(
+                "repair-threshold-skip",
+                pos,
+                pos + THRESHOLD.len(),
+                "let below_threshold = live < k;".to_string(),
+            );
+        }
+    }
+
     out.sort_by_key(|m| (m.span.0, m.id.clone()));
     out
 }
@@ -354,10 +383,10 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Mutation>> {
 // Pinned smoke set
 // ---------------------------------------------------------------------------
 
-/// The 13 pinned protocol mutants CI runs (`mutate --smoke`), chosen to
-/// cover all eight operators across proxy, FS, KLS, protocol helpers,
-/// timer slab, parallel engine and checksum. The kill-rate gate and the
-/// per-mutant expectations are documented in DESIGN.md §6.
+/// The 14 pinned protocol mutants CI runs (`mutate --smoke`), chosen to
+/// cover all nine operators across proxy, FS, KLS, protocol helpers,
+/// timer slab, parallel engine, checksum and repair actor. The kill-rate
+/// gate and the per-mutant expectations are documented in DESIGN.md §6.
 pub const PINNED_SMOKE: &[&str] = &[
     "quorum-off-by-one:proxy:0",   // put success needs one extra fragment ack
     "cmp-flip:proxy:1",            // `>= usize::from(` -> `>`: late/never client ack
@@ -372,6 +401,7 @@ pub const PINNED_SMOKE: &[&str] = &[
     "compaction-skip:fs:0",        // compactor off: scale-check digest's compacted count drops
     "delta-resolve-skip:fs:0",     // delta stripes stored raw: `--delta` sweep diverges
     "shard-merge-skip:parallel:0", // merge tie-break dropped: parallel digest leaves sharded
+    "repair-threshold-skip:repair:0", // repair waits for parity exhaustion: floor invariant fires
 ];
 
 // ---------------------------------------------------------------------------
@@ -850,9 +880,9 @@ mod tests {
     }
 
     #[test]
-    fn pinned_set_is_thirteen_distinct_ids() {
+    fn pinned_set_is_fourteen_distinct_ids() {
         let set: std::collections::BTreeSet<&&str> = PINNED_SMOKE.iter().collect();
-        assert_eq!(set.len(), 13);
+        assert_eq!(set.len(), 14);
     }
 
     #[test]
@@ -890,6 +920,21 @@ mod tests {
             .expect("site found");
         assert_eq!(m.id, "compaction-skip:fs:0");
         assert!(m.apply(src).contains("newly_settled && false {"));
+    }
+
+    #[test]
+    fn repair_threshold_skip_site_is_repair_only() {
+        let src = "let k = u64::from(t.meta.policy().k);\nlet below_threshold = live * 100 < u64::from(self.opts.threshold_pct) * target;\n";
+        let ms = scan_file(Path::new("repair.rs"), src);
+        let m = ms
+            .iter()
+            .find(|m| m.operator == "repair-threshold-skip")
+            .expect("site found");
+        assert_eq!(m.id, "repair-threshold-skip:repair:0");
+        assert!(m.apply(src).contains("let below_threshold = live < k;"));
+        // The same pattern outside repair.rs is not a site.
+        let ms = scan_file(Path::new("fs.rs"), src);
+        assert!(ms.iter().all(|m| m.operator != "repair-threshold-skip"));
     }
 
     #[test]

@@ -156,21 +156,32 @@ pub fn render_csv(results: &[ConfigResult], unit: Unit) -> String {
 }
 
 /// Renders run-level statistics (convergence time, puts attempted, drop
-/// totals split by cause) as a compact companion table.
+/// totals split by cause, background repair bytes) as a compact
+/// companion table. The repair-bytes column stays zero for repair-off
+/// configurations — the engine is opt-in and the column makes its
+/// silence visible.
 pub fn render_run_stats(results: &[ConfigResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:12}  {:>12}  {:>14}  {:>13}  {:>14}  {:>10}\n",
-        "config", "sim time (s)", "puts attempted", "fault drops", "random drops", "converged"
+        "{:12}  {:>12}  {:>14}  {:>13}  {:>14}  {:>12}  {:>10}\n",
+        "config",
+        "sim time (s)",
+        "puts attempted",
+        "fault drops",
+        "random drops",
+        "repair bytes",
+        "converged"
     ));
     for r in results {
+        let repair_bytes = r.event_counts.get("repair_bytes").map_or(0.0, |s| s.mean);
         out.push_str(&format!(
-            "{:12}  {:>12.1}  {:>14.1}  {:>13.1}  {:>14.1}  {:>10}\n",
+            "{:12}  {:>12.1}  {:>14.1}  {:>13.1}  {:>14.1}  {:>12.1}  {:>10}\n",
             r.label,
             r.sim_secs.mean,
             r.puts_attempted.mean,
             r.dropped_fault.mean,
             r.dropped_random.mean,
+            repair_bytes,
             if r.all_converged { "yes" } else { "NO" },
         ));
     }
@@ -211,6 +222,57 @@ pub fn render_events(title: &str, results: &[ConfigResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title} (mean per run)\n"));
     out.push_str(&format!("{:label_w$}", "event"));
+    for (r, w) in results.iter().zip(&col_w) {
+        out.push_str(&format!("  {:>w$}", r.label, w = w));
+    }
+    out.push('\n');
+    for label in &labels {
+        out.push_str(&format!("{label:label_w$}"));
+        for (r, w) in results.iter().zip(&col_w) {
+            out.push_str(&format!("  {:>w$.1}", cell(r, label), w = w));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the repair-engine ledger (`repair_triggered`,
+/// `repair_completed`, `repair_bytes`, ..., plus `degraded_reads`): one
+/// row per counter, one mean-per-run cell per configuration. The same
+/// shape as [`render_events`] but restricted to the repair actor's
+/// counters so repair activity reads as one table even when the delta
+/// ledger is also live. Returns an empty string when no configuration
+/// ran the repair engine.
+pub fn render_repair(title: &str, results: &[ConfigResult]) -> String {
+    let mut labels: Vec<&'static str> = results
+        .iter()
+        .flat_map(|r| r.event_counts.keys().copied())
+        .filter(|l| l.starts_with("repair_") || *l == "degraded_reads")
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let cell = |r: &ConfigResult, label: &str| -> f64 {
+        r.event_counts.get(label).map_or(0.0, |s| s.mean)
+    };
+    labels.retain(|l| results.iter().any(|r| cell(r, l) > 0.0));
+    if labels.is_empty() {
+        return String::new();
+    }
+
+    let label_w = labels
+        .iter()
+        .map(|l| l.len())
+        .chain(["counter".len()])
+        .max()
+        .unwrap_or(8);
+    let col_w = results
+        .iter()
+        .map(|r| r.label.len().max(12))
+        .collect::<Vec<_>>();
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title} (mean per run)\n"));
+    out.push_str(&format!("{:label_w$}", "counter"));
     for (r, w) in results.iter().zip(&col_w) {
         out.push_str(&format!("  {:>w$}", r.label, w = w));
     }
@@ -358,6 +420,35 @@ mod tests {
         assert!(t.contains("yes"));
         assert!(t.contains("fault drops"));
         assert!(t.contains("random drops"));
+        assert!(t.contains("repair bytes"));
+    }
+
+    #[test]
+    fn repair_table_filters_the_repair_ledger() {
+        // No repair engine ran: the table must vanish.
+        assert_eq!(render_repair("clean", &sample()), "");
+
+        // Synthesize a configuration whose runs recorded repair activity
+        // alongside an unrelated dense counter: only the repair ledger
+        // (and degraded reads) may appear.
+        let mut results = sample();
+        let constant = |v: f64| -> stats::Summary {
+            [v].into_iter().collect::<stats::Accumulator>().summary()
+        };
+        let r = &mut results[0];
+        r.event_counts.insert("repair_triggered", constant(8.0));
+        r.event_counts.insert("repair_bytes", constant(98304.0));
+        r.event_counts.insert("degraded_reads", constant(3.0));
+        r.event_counts.insert("deltas_encoded", constant(5.0));
+        let t = render_repair("repair", &results);
+        assert!(t.contains("repair_triggered"), "{t}");
+        assert!(t.contains("repair_bytes"), "{t}");
+        assert!(t.contains("degraded_reads"), "{t}");
+        assert!(!t.contains("deltas_encoded"), "{t}");
+
+        // And the run-stats companion column picks up the mean.
+        let s = render_run_stats(&results);
+        assert!(s.contains("98304.0"), "{s}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::messages::Message;
 use crate::policy::Policy;
 use crate::protocol::ProtocolMode;
 use crate::proxy::{Proxy, ProxyConfig};
+use crate::repair::RepairActor;
 use crate::topology::{DataCenterId, Topology};
 use crate::types::{Key, ObjectVersion};
 
@@ -222,6 +223,11 @@ pub struct ClusterConfig {
     /// Which simulation engine drives the cluster (legacy by default, so
     /// all recorded digests stay byte-identical).
     pub engine: EngineMode,
+    /// Failure-domain modeling: `Some(r)` partitions each data center's
+    /// FSs into `r` racks (by position) and switches the KLS to rack-aware
+    /// fragment placement; `None` (the default — byte-identical to every
+    /// recorded digest) keeps the legacy rack-blind layout.
+    pub racks_per_dc: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -248,6 +254,7 @@ impl ClusterConfig {
             streaming_workload: None,
             max_sim_time: SimDuration::from_secs(24 * 3600),
             engine: EngineMode::Legacy,
+            racks_per_dc: None,
         }
     }
 
@@ -399,6 +406,7 @@ fn shard_plan(
     extras: &[ExtraProxy],
     network: &NetworkConfig,
     workers: usize,
+    repair: bool,
 ) -> ShardPlan {
     let mut owner: Vec<u16> = Vec::new();
     for dc in 0..layout.dcs {
@@ -409,6 +417,10 @@ fn shard_plan(
     for spec in extras {
         owner.push(spec.dc as u16); // extra proxy
         owner.push(spec.dc as u16); // its client
+    }
+    if repair {
+        // One repair actor per data center, homed with the FSs it watches.
+        owner.extend((0..layout.dcs).map(|dc| dc as u16));
     }
     let mut lookahead: Option<SimDuration> = None;
     for a in 0..owner.len() {
@@ -436,6 +448,8 @@ pub struct Cluster {
     config: ClusterConfig,
     /// `(proxy, client)` node ids of the extra pairs, in config order.
     extra: Vec<(NodeId, NodeId)>,
+    /// Node ids of the per-DC repair actors (empty when repair is off).
+    repair: Vec<NodeId>,
 }
 
 impl Cluster {
@@ -455,7 +469,13 @@ impl Cluster {
                 faults,
             )),
             EngineMode::Sharded { workers } => {
-                let plan = shard_plan(layout, &config.extra_proxies, &config.network, workers);
+                let plan = shard_plan(
+                    layout,
+                    &config.extra_proxies,
+                    &config.network,
+                    workers,
+                    config.convergence.repair.is_some(),
+                );
                 Engine::Sharded(ShardedSimulation::with_network(
                     seed,
                     config.network.clone(),
@@ -465,16 +485,18 @@ impl Cluster {
             }
         };
 
-        let topo = Topology::new(
-            (0..layout.dcs)
-                .map(|dc| {
-                    (
-                        (0..layout.kls_per_dc).map(|i| layout.kls(dc, i)).collect(),
-                        (0..layout.fs_per_dc).map(|i| layout.fs(dc, i)).collect(),
-                    )
-                })
-                .collect(),
-        );
+        let dc_shape = (0..layout.dcs)
+            .map(|dc| {
+                (
+                    (0..layout.kls_per_dc).map(|i| layout.kls(dc, i)).collect(),
+                    (0..layout.fs_per_dc).map(|i| layout.fs(dc, i)).collect(),
+                )
+            })
+            .collect();
+        let topo = match config.racks_per_dc {
+            Some(racks) => Topology::with_racks(dc_shape, racks),
+            None => Topology::new(dc_shape),
+        };
 
         for dc in 0..layout.dcs {
             let dc_id = DataCenterId::new(dc as u8);
@@ -540,12 +562,27 @@ impl Cluster {
             extra.push((p, c));
         }
 
+        // Repair actors come last so every recorded id ahead of them —
+        // servers, primary pair, extras — is unchanged when repair is off.
+        let mut repair = Vec::new();
+        if let Some(opts) = config.convergence.repair.clone() {
+            for dc in 0..layout.dcs {
+                let dc_id = DataCenterId::new(dc as u8);
+                let id = sim.add_actor(RepairActor::new(topo.clone(), dc_id, opts.clone()));
+                for i in 0..layout.fs_per_dc {
+                    sim.actor_mut::<Fs>(layout.fs(dc, i)).set_repair_target(id);
+                }
+                repair.push(id);
+            }
+        }
+
         Cluster {
             sim,
             layout,
             topo,
             config,
             extra,
+            repair,
         }
     }
 
@@ -673,6 +710,18 @@ impl Cluster {
     /// The `(proxy, client)` node ids of extra pair `i`.
     pub fn extra_pair(&self, i: usize) -> (NodeId, NodeId) {
         self.extra[i]
+    }
+
+    /// Node ids of the per-DC repair actors, in DC order (empty when the
+    /// repair engine is disabled).
+    pub fn repair_ids(&self) -> &[NodeId] {
+        &self.repair
+    }
+
+    /// Borrows the repair actor of data center `dc`. Panics when repair is
+    /// disabled.
+    pub fn repair_actor(&self, dc: usize) -> &RepairActor {
+        self.sim.view().actor(self.repair[dc])
     }
 
     /// Enqueues a put of `value` under the key named `name` (retried by
@@ -960,6 +1009,28 @@ mod tests {
         assert_eq!(r.puts_attempted, 0);
         assert_eq!(r.non_durable, 0);
         assert!(r.time_to_amr.is_empty());
+    }
+
+    #[test]
+    fn repair_actors_take_the_trailing_ids() {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.convergence.repair = Some(crate::repair::RepairOptions::paper_default());
+        cfg.racks_per_dc = Some(3);
+        let cluster = Cluster::build(cfg, 1);
+        let l = cluster.layout();
+        assert_eq!(cluster.sim().actor_count(), 14);
+        assert_eq!(
+            cluster.repair_ids(),
+            &[
+                NodeId::new(l.client().index() as u32 + 1),
+                NodeId::new(l.client().index() as u32 + 2)
+            ]
+        );
+        assert_eq!(cluster.topology().racks_in(DataCenterId::new(0)), 3);
+        // Repair off: layout and count are untouched.
+        let plain = Cluster::build(ClusterConfig::paper_default(), 1);
+        assert_eq!(plain.sim().actor_count(), 12);
+        assert!(plain.repair_ids().is_empty());
     }
 
     #[test]

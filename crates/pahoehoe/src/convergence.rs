@@ -3,6 +3,8 @@
 
 use simnet::SimDuration;
 
+use crate::repair::RepairOptions;
+
 /// How fragment servers schedule their periodic convergence rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoundSchedule {
@@ -79,6 +81,20 @@ pub struct ConvergenceOptions {
     /// paper's experiments) disables scrubbing; corruption is then still
     /// caught on the read path.
     pub scrub_interval: Option<SimDuration>,
+    /// How many fragment payload bytes one scrub tick may re-hash before
+    /// yielding. Scrubbing walks the store with a persistent cursor, so
+    /// its cost per event is proportional to scanned bytes instead of the
+    /// whole store (a multi-tick pass resumes where the last tick
+    /// stopped). Only meaningful when [`scrub_interval`] is set.
+    ///
+    /// [`scrub_interval`]: Self::scrub_interval
+    pub scrub_chunk_bytes: usize,
+    /// Background repair engine configuration. `None` (the default — the
+    /// paper has no repair engine, and the pinned sweep digests assume
+    /// its absence) runs no repair actors; `Some` adds one
+    /// [`RepairActor`](crate::repair::RepairActor) per data center fed by
+    /// periodic FS inventory reports.
+    pub repair: Option<RepairOptions>,
 }
 
 impl ConvergenceOptions {
@@ -98,6 +114,8 @@ impl ConvergenceOptions {
             recovery_wait: SimDuration::from_millis(500),
             recovery_timeout: SimDuration::from_secs(5),
             scrub_interval: None,
+            scrub_chunk_bytes: 64 * 1024,
+            repair: None,
         }
     }
 

@@ -42,6 +42,7 @@ const TAG_ROUND: u64 = 1 << 56;
 const TAG_RECOVERY_WAIT: u64 = 2 << 56;
 const TAG_RECOVERY_TIMEOUT: u64 = 3 << 56;
 const TAG_SCRUB: u64 = 4 << 56;
+const TAG_REPAIR_REPORT: u64 = 5 << 56;
 const TAG_MASK: u64 = 0xff << 56;
 
 /// Timer tag a harness may schedule on an FS (via
@@ -866,6 +867,13 @@ pub struct Fs {
     /// Reusable `(version, slot hint)` list for `run_round` and `scrub`,
     /// so steady-state rounds do not allocate a version list each tick.
     version_scratch: Vec<(ObjectVersion, u32)>,
+    /// This DC's repair actor, set by the cluster builder when the
+    /// repair engine is enabled; inventory reports go here.
+    repair_target: Option<NodeId>,
+    /// First version the next scrub tick scans (`None`: start a fresh
+    /// pass). Scrub walks the store in version order, a
+    /// [`ConvergenceOptions::scrub_chunk_bytes`] budget at a time.
+    scrub_cursor: Option<ObjectVersion>,
 }
 
 impl Fs {
@@ -900,7 +908,16 @@ impl Fs {
             codecs: BTreeMap::new(),
             recover_scratch: Vec::new(),
             version_scratch: Vec::new(),
+            repair_target: None,
+            scrub_cursor: None,
         }
+    }
+
+    /// Points this FS's periodic inventory reports at its DC's repair
+    /// actor (cluster builder API; reports only flow when
+    /// [`ConvergenceOptions`] enables the repair engine).
+    pub fn set_repair_target(&mut self, target: NodeId) {
+        self.repair_target = Some(target);
     }
 
     fn codec(&mut self, k: u8, n: u8) -> &Codec {
@@ -1072,17 +1089,35 @@ impl Fs {
         work.next_eligible = now;
     }
 
-    /// Verifies every stored fragment against its recorded checksum;
-    /// corrupted fragments are dropped and their versions re-entered for
-    /// convergence (which regenerates them from the siblings). Returns
-    /// the number of corrupted fragments found.
+    /// One scrub tick: verifies stored fragments against their recorded
+    /// checksums, at most [`ConvergenceOptions::scrub_chunk_bytes`] of
+    /// payload per tick (a persistent cursor resumes the walk on the next
+    /// tick, so the cost of one event is proportional to the bytes it
+    /// scanned, not to the whole store). Corrupted fragments are dropped
+    /// and their versions re-entered for convergence (which regenerates
+    /// them from the siblings). Returns the number of corrupted fragments
+    /// found this tick.
     // lint:hot
     fn scrub(&mut self, ctx: &mut Context<'_, Message>) -> usize {
         let now = ctx.now();
+        let budget = self.opts.scrub_chunk_bytes.max(1);
+        let mut scanned = 0usize;
         let mut found = 0;
         let mut versions = std::mem::take(&mut self.version_scratch);
         self.store.collect_known(&mut versions);
+        // The dense store yields versions in slot order; sort so the
+        // cursor walk is stable across store layouts.
+        versions.sort_unstable_by_key(|&(ov, _)| ov);
+        let resume = self.scrub_cursor.take();
         for &(ov, hint) in &versions {
+            if resume.is_some_and(|cur| ov < cur) {
+                continue;
+            }
+            if scanned >= budget {
+                // Out of budget: resume from this version next tick.
+                self.scrub_cursor = Some(ov);
+                break;
+            }
             // Corrupted fragment indices as a mask: no per-version list
             // allocation on the (usually clean) scrub walk.
             let mut bad = FragMask::new();
@@ -1092,6 +1127,7 @@ impl Fs {
                     continue;
                 };
                 for (&idx, frag) in &entry.fragments {
+                    scanned += frag.len();
                     if !entry
                         .checksums
                         .get(&idx)
@@ -1118,6 +1154,33 @@ impl Fs {
             self.ensure_round(ctx);
         }
         found
+    }
+
+    /// Sends this FS's fragment inventory — every known version with its
+    /// metadata and held fragment indices — to the DC's repair actor. An
+    /// empty store still reports (the actor waits for every FS before
+    /// judging redundancy).
+    fn send_repair_report(&mut self, ctx: &mut Context<'_, Message>) {
+        let Some(target) = self.repair_target else {
+            return;
+        };
+        let mut versions = std::mem::take(&mut self.version_scratch);
+        self.store.collect_known(&mut versions);
+        versions.sort_unstable_by_key(|&(ov, _)| ov);
+        let mut entries = Vec::with_capacity(versions.len());
+        for &(ov, _) in &versions {
+            let Some(entry) = self.store.entry(ov) else {
+                continue;
+            };
+            entries.push((
+                ov,
+                Arc::clone(&entry.meta),
+                entry.fragments.keys().copied().collect(),
+            ));
+        }
+        versions.clear();
+        self.version_scratch = versions;
+        ctx.send(target, Message::RepairReport { entries });
     }
 
     // ---- internals ----
@@ -1861,6 +1924,9 @@ impl Actor<Message> for Fs {
         if let Some(interval) = self.opts.scrub_interval {
             ctx.schedule_timer(interval, TAG_SCRUB);
         }
+        if let Some(repair) = self.opts.repair.as_ref() {
+            ctx.schedule_timer(repair.report_interval, TAG_REPAIR_REPORT);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: NodeId, msg: Message) {
@@ -2058,6 +2124,12 @@ impl Actor<Message> for Fs {
                 self.scrub(ctx);
                 if let Some(interval) = self.opts.scrub_interval {
                     ctx.schedule_timer(interval, TAG_SCRUB);
+                }
+            }
+            TAG_REPAIR_REPORT => {
+                self.send_repair_report(ctx);
+                if let Some(repair) = self.opts.repair.as_ref() {
+                    ctx.schedule_timer(repair.report_interval, TAG_REPAIR_REPORT);
                 }
             }
             _ => debug_assert!(false, "unknown FS timer tag {tag:#x}"),

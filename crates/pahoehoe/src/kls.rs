@@ -83,6 +83,9 @@ impl Kls {
         );
         let mut ranked: Vec<NodeId> = fss.to_vec();
         ranked.sort_by_key(|fs| (Self::placement_hash(ov, *fs), *fs));
+        if topo.rack_aware() {
+            return Self::rack_aware_locs(topo, dc, &ranked, policy);
+        }
         // Deal fragments round-robin across the ranking so the first k
         // (data) fragments spread over distinct servers where possible.
         let mut locs = Vec::with_capacity(policy.frags_per_dc as usize);
@@ -96,6 +99,66 @@ impl Kls {
             }
             round += 1;
             debug_assert!(round < policy.max_frags_per_fs);
+        }
+        locs
+    }
+
+    /// Failure-domain-aware variant of the deal: group the ranked FSs by
+    /// rack (racks ordered by first appearance in the ranking, so the
+    /// rendezvous hash still rotates which rack leads), then deal one
+    /// fragment per rack per sweep, round-robin inside each rack with
+    /// `disk` counting a server's placements. When racks ≥ fragments the
+    /// first sweep finishes the stripe on all-distinct racks; with fewer
+    /// racks the per-rack counts stay within one of each other until a
+    /// rack runs out of capacity (max-spread degradation).
+    fn rack_aware_locs(
+        topo: &Topology,
+        dc: DataCenterId,
+        ranked: &[NodeId],
+        policy: &Policy,
+    ) -> Vec<Location> {
+        use std::collections::VecDeque;
+
+        let mut rack_order: Vec<usize> = Vec::new();
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        for &fs in ranked {
+            let rack = topo.rack_of(dc, fs).unwrap_or(0);
+            match rack_order.iter().position(|&r| r == rack) {
+                Some(i) => {
+                    if let Some(g) = groups.get_mut(i) {
+                        g.push(fs);
+                    }
+                }
+                None => {
+                    rack_order.push(rack);
+                    groups.push(vec![fs]);
+                }
+            }
+        }
+        // Each rack's deal order: its ranked members round-robin, a
+        // server's n-th placement landing on disk n.
+        let mut queues: Vec<VecDeque<Location>> = groups
+            .iter()
+            .map(|group| {
+                (0..policy.max_frags_per_fs)
+                    .flat_map(|disk| group.iter().map(move |&fs| Location { fs, disk }))
+                    .collect()
+            })
+            .collect();
+        let want = policy.frags_per_dc as usize;
+        let mut locs = Vec::with_capacity(want);
+        while locs.len() < want {
+            let mut progressed = false;
+            for q in &mut queues {
+                if locs.len() == want {
+                    break;
+                }
+                if let Some(l) = q.pop_front() {
+                    locs.push(l);
+                    progressed = true;
+                }
+            }
+            assert!(progressed, "data center {dc} lacks capacity for {policy:?}");
         }
         locs
     }
@@ -377,6 +440,69 @@ mod tests {
         let locs = Kls::which_locs(&t, DataCenterId::new(0), ov(3), &p);
         let first_three: BTreeSet<NodeId> = locs[..3].iter().map(|l| l.fs).collect();
         assert_eq!(first_three.len(), 3);
+    }
+
+    #[test]
+    fn rack_aware_locs_spread_across_racks() {
+        // 6 FSs in 3 racks (positions mod 3): the paper policy's 6
+        // fragments must land one per rack in the first sweep, then one
+        // more per rack, every (fs, disk) pair distinct.
+        let t = Topology::with_racks(
+            vec![(
+                vec![NodeId::new(0)],
+                (1..=6).map(NodeId::new).collect::<Vec<_>>(),
+            )],
+            3,
+        );
+        let p = Policy::paper_default();
+        let dc = DataCenterId::new(0);
+        for i in 0..50 {
+            let locs = Kls::which_locs(&t, dc, ov(i), &p);
+            assert_eq!(locs.len(), 6);
+            let first_sweep: BTreeSet<usize> = locs[..3]
+                .iter()
+                .map(|l| t.rack_of(dc, l.fs).unwrap())
+                .collect();
+            assert_eq!(first_sweep.len(), 3, "first sweep covers every rack");
+            let mut per_rack: BTreeMap<usize, usize> = BTreeMap::new();
+            for l in &locs {
+                *per_rack.entry(t.rack_of(dc, l.fs).unwrap()).or_default() += 1;
+            }
+            assert!(
+                per_rack.values().all(|&c| c == 2),
+                "balanced racks: {per_rack:?}"
+            );
+            let mut pairs: Vec<(NodeId, u8)> = locs.iter().map(|l| (l.fs, l.disk)).collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            assert_eq!(pairs.len(), 6, "(fs, disk) pairs are distinct");
+        }
+    }
+
+    #[test]
+    fn single_rack_placement_matches_legacy_deal() {
+        let legacy = topo();
+        let racked = Topology::with_racks(
+            vec![
+                (
+                    vec![NodeId::new(0), NodeId::new(1)],
+                    vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)],
+                ),
+                (
+                    vec![NodeId::new(5), NodeId::new(6)],
+                    vec![NodeId::new(7), NodeId::new(8), NodeId::new(9)],
+                ),
+            ],
+            1,
+        );
+        let p = Policy::paper_default();
+        for i in 0..50 {
+            assert_eq!(
+                Kls::which_locs(&legacy, DataCenterId::new(0), ov(i), &p),
+                Kls::which_locs(&racked, DataCenterId::new(0), ov(i), &p),
+                "one rack degenerates to the legacy deal"
+            );
+        }
     }
 
     #[test]

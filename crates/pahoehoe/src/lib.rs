@@ -52,6 +52,7 @@ pub mod metadata;
 pub mod policy;
 pub mod protocol;
 pub mod proxy;
+pub mod repair;
 pub mod topology;
 pub mod types;
 pub mod workload;
@@ -64,6 +65,7 @@ pub use protocol::{
     batched_rounds, compaction, flat_store, reference_protocol_mode, set_batched_rounds,
     set_compaction, set_flat_store, set_reference_protocol_mode, ProtocolMode,
 };
+pub use repair::{RepairActor, RepairOptions};
 pub use types::{Key, ObjectVersion, Timestamp};
 
 #[cfg(test)]

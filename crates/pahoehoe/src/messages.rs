@@ -70,6 +70,22 @@ pub const EV_FULL_FRAG_BYTES: usize = 6;
 pub const EV_DELTAS_RESOLVED: usize = 7;
 /// Windowed delta fragments an FS could not resolve (base missing).
 pub const EV_DELTA_UNRESOLVABLE: usize = 8;
+/// Repair jobs enqueued because an object fell below the repair
+/// threshold (repair actor).
+pub const EV_REPAIR_TRIGGERED: usize = 9;
+/// Repair jobs that finished re-protecting their object (repair actor).
+pub const EV_REPAIR_COMPLETED: usize = 10;
+/// Repair jobs abandoned after exhausting donor retries (repair actor).
+pub const EV_REPAIR_ABANDONED: usize = 11;
+/// Fragment payload bytes moved by repair (donor fetches + pushes).
+pub const EV_REPAIR_BYTES: usize = 12;
+/// Sum of repair-queue depth sampled at each drain tick (repair actor).
+pub const EV_REPAIR_QUEUE_DEPTH: usize = 13;
+/// Drain ticks where the bandwidth budget stalled a ready job.
+pub const EV_REPAIR_THROTTLE_STALLS: usize = 14;
+/// Gets that decoded successfully but saw at least one ⊥ fragment
+/// reply on the way (proxy).
+pub const EV_DEGRADED_READS: usize = 15;
 
 /// Every message exchanged between Pahoehoe nodes.
 #[derive(Clone, Debug)]
@@ -304,6 +320,17 @@ pub enum Message {
         /// recovery for this version (drives the id-ordered backoff).
         recovering: bool,
     },
+    /// FS → repair actor periodic inventory report: every object version
+    /// the FS knows about, with its metadata and the fragment indices it
+    /// currently holds. The repair actor folds these into per-object
+    /// live-fragment counts and triggers reconstruction below the repair
+    /// threshold. Reports under the `FSConvergeRep` label: it is the same
+    /// verification traffic an FS already emits during convergence, just
+    /// pushed on a timer instead of pulled by a probe.
+    RepairReport {
+        /// `(object version, metadata, fragment indices held)` per object.
+        entries: Vec<(ObjectVersion, Arc<Metadata>, Vec<FragmentIndex>)>,
+    },
     /// A recovered sibling fragment pushed to the FS that needs it
     /// (sibling fragment recovery, §4.2). Unacknowledged; the next
     /// convergence round verifies receipt.
@@ -374,6 +401,13 @@ impl Payload for Message {
         "full_frag_bytes",
         "deltas_resolved",
         "delta_unresolvable",
+        "repair_triggered",
+        "repair_completed",
+        "repair_abandoned",
+        "repair_bytes",
+        "repair_queue_depth",
+        "repair_throttle_stalls",
+        "degraded_reads",
     ];
 
     fn kind_id(&self) -> usize {
@@ -398,7 +432,7 @@ impl Payload for Message {
             Message::ConvergeKls { .. } | Message::ConvergeKlsBatch { .. } => 17,
             Message::ConvergeKlsReply { .. } => 18,
             Message::ConvergeFs { .. } | Message::ConvergeFsBatch { .. } => 19,
-            Message::ConvergeFsReply { .. } => 20,
+            Message::ConvergeFsReply { .. } | Message::RepairReport { .. } => 20,
             Message::SiblingStore { .. } => 21,
         }
     }
@@ -454,6 +488,10 @@ impl Payload for Message {
                 Message::ConvergeFsReply { have, missing, .. } => {
                     OV_BYTES + 2 + have.len() + missing.len()
                 }
+                Message::RepairReport { entries } => entries
+                    .iter()
+                    .map(|(_, m, have)| OV_BYTES + m.wire_size() + 1 + have.len())
+                    .sum::<usize>(),
                 Message::SiblingStore { meta, fragment, .. } => {
                     OV_BYTES + meta.wire_size() + fragment.wire_len()
                 }
@@ -592,7 +630,30 @@ mod tests {
         assert_eq!(Message::EVENTS[EV_FULL_FRAG_BYTES], "full_frag_bytes");
         assert_eq!(Message::EVENTS[EV_DELTAS_RESOLVED], "deltas_resolved");
         assert_eq!(Message::EVENTS[EV_DELTA_UNRESOLVABLE], "delta_unresolvable");
-        assert_eq!(Message::EVENTS.len(), 9);
+        assert_eq!(Message::EVENTS[EV_REPAIR_TRIGGERED], "repair_triggered");
+        assert_eq!(Message::EVENTS[EV_REPAIR_COMPLETED], "repair_completed");
+        assert_eq!(Message::EVENTS[EV_REPAIR_ABANDONED], "repair_abandoned");
+        assert_eq!(Message::EVENTS[EV_REPAIR_BYTES], "repair_bytes");
+        assert_eq!(Message::EVENTS[EV_REPAIR_QUEUE_DEPTH], "repair_queue_depth");
+        assert_eq!(
+            Message::EVENTS[EV_REPAIR_THROTTLE_STALLS],
+            "repair_throttle_stalls"
+        );
+        assert_eq!(Message::EVENTS[EV_DEGRADED_READS], "degraded_reads");
+        assert_eq!(Message::EVENTS.len(), 16);
+    }
+
+    #[test]
+    fn repair_report_shares_the_converge_reply_label() {
+        let report = Message::RepairReport {
+            entries: vec![(ov(), Arc::new(full_meta()), vec![0, 3])],
+        };
+        assert_eq!(report.kind(), "FSConvergeRep");
+        // One shared header plus per-entry bodies, like the batches.
+        assert_eq!(
+            report.wire_size(),
+            HEADER_BYTES + OV_BYTES + full_meta().wire_size() + 1 + 2
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use erasure::{Codec, Fragment, FragmentIndex};
 use simnet::{Actor, Context, NodeId, SimDuration, TimerId};
 
 use crate::messages::{
-    Message, OpId, EV_DELTAS_ENCODED, EV_DELTA_BYTES_SAVED, EV_DELTA_FALLBACKS,
+    Message, OpId, EV_DEGRADED_READS, EV_DELTAS_ENCODED, EV_DELTA_BYTES_SAVED, EV_DELTA_FALLBACKS,
     EV_DELTA_FRAG_BYTES, EV_FULL_FRAG_BYTES, EV_STRIPE_CACHE_HITS, EV_STRIPE_CACHE_MISSES,
 };
 use crate::metadata::Metadata;
@@ -886,6 +886,17 @@ impl Proxy {
             frags.clear();
             self.frag_scratch = frags;
             self.decode_scratch = value;
+            // A successful decode that stepped over a ⊥ reply is a
+            // degraded read: the value was recoverable but redundancy is
+            // impaired (the repair benchmark's quality-of-service signal).
+            if self
+                .gets
+                .get(&op)
+                .and_then(|g| g.current.as_ref())
+                .is_some_and(|c| c.saw_bottom)
+            {
+                ctx.record_event(EV_DEGRADED_READS, 1);
+            }
             self.finish_get(ctx, op, Some((ov, blob)));
             return;
         }

@@ -67,6 +67,10 @@ impl fmt::Display for DataCenterId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     dcs: Vec<DcMembers>,
+    /// Failure domains below the DC. `None` means racks are unmodeled
+    /// (the pre-rack topology); `Some(r)` partitions each DC's fragment
+    /// servers into `r` racks by position (see [`rack_of`](Self::rack_of)).
+    racks_per_dc: Option<usize>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +86,23 @@ impl Topology {
     ///
     /// Panics if there are no data centers or any DC lacks a KLS or FS.
     pub fn new(dcs: Vec<(Vec<NodeId>, Vec<NodeId>)>) -> Arc<Self> {
+        Self::build(dcs, None)
+    }
+
+    /// Like [`new`](Self::new) but partitions each DC's fragment servers
+    /// into `racks` failure domains. Placement becomes rack-aware (see
+    /// `Kls::which_locs`) and repair donor selection avoids the failing
+    /// rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks` is zero, on top of [`new`](Self::new)'s checks.
+    pub fn with_racks(dcs: Vec<(Vec<NodeId>, Vec<NodeId>)>, racks: usize) -> Arc<Self> {
+        assert!(racks > 0, "need at least one rack per DC");
+        Self::build(dcs, Some(racks))
+    }
+
+    fn build(dcs: Vec<(Vec<NodeId>, Vec<NodeId>)>, racks_per_dc: Option<usize>) -> Arc<Self> {
         assert!(!dcs.is_empty(), "need at least one data center");
         let dcs: Vec<DcMembers> = dcs
             .into_iter()
@@ -91,7 +112,30 @@ impl Topology {
                 DcMembers { klss, fss }
             })
             .collect();
-        Arc::new(Topology { dcs })
+        Arc::new(Topology { dcs, racks_per_dc })
+    }
+
+    /// Whether racks are modeled (placement and donor selection are
+    /// failure-domain-aware).
+    pub fn rack_aware(&self) -> bool {
+        self.racks_per_dc.is_some()
+    }
+
+    /// Number of racks in `dc`: the configured count, capped at the DC's
+    /// FS count (an FS is never split across racks). 1 when racks are
+    /// unmodeled.
+    pub fn racks_in(&self, dc: DataCenterId) -> usize {
+        self.racks_per_dc
+            .map_or(1, |r| r.min(self.dcs[dc.index()].fss.len()))
+    }
+
+    /// The rack hosting fragment server `fs` inside `dc`: its position in
+    /// the DC's FS list modulo the rack count. A pure function of the
+    /// static membership, so every server computes the same assignment.
+    /// Returns `None` when `fs` is not an FS of `dc`.
+    pub fn rack_of(&self, dc: DataCenterId, fs: NodeId) -> Option<usize> {
+        let pos = self.dcs[dc.index()].fss.iter().position(|&n| n == fs)?;
+        Some(pos % self.racks_in(dc))
     }
 
     /// Number of data centers.
@@ -212,5 +256,48 @@ mod tests {
     #[should_panic(expected = "every DC needs a KLS")]
     fn empty_kls_list_panics() {
         let _ = Topology::new(vec![(vec![], vec![NodeId::new(0)])]);
+    }
+
+    #[test]
+    fn racks_partition_fss_by_position() {
+        let t = Topology::with_racks(
+            vec![(
+                vec![NodeId::new(0)],
+                vec![
+                    NodeId::new(1),
+                    NodeId::new(2),
+                    NodeId::new(3),
+                    NodeId::new(4),
+                    NodeId::new(5),
+                ],
+            )],
+            3,
+        );
+        let dc = DataCenterId::new(0);
+        assert!(t.rack_aware());
+        assert_eq!(t.racks_in(dc), 3);
+        let racks: Vec<usize> = t
+            .fss_in(dc)
+            .iter()
+            .map(|&fs| t.rack_of(dc, fs).unwrap())
+            .collect();
+        assert_eq!(racks, vec![0, 1, 2, 0, 1]);
+        assert_eq!(t.rack_of(dc, NodeId::new(0)), None, "KLS has no rack");
+    }
+
+    #[test]
+    fn rack_count_caps_at_fs_count_and_legacy_is_one_rack() {
+        let t = Topology::with_racks(
+            vec![(vec![NodeId::new(0)], vec![NodeId::new(1), NodeId::new(2)])],
+            8,
+        );
+        assert_eq!(t.racks_in(DataCenterId::new(0)), 2);
+        let legacy = topo();
+        assert!(!legacy.rack_aware());
+        assert_eq!(legacy.racks_in(DataCenterId::new(0)), 1);
+        assert_eq!(
+            legacy.rack_of(DataCenterId::new(0), NodeId::new(3)),
+            Some(0)
+        );
     }
 }

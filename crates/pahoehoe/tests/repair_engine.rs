@@ -1,0 +1,193 @@
+//! End-to-end tests for the background repair engine: threshold-driven
+//! re-protection after disk loss, bandwidth throttling, and the paced
+//! scrub scheduler.
+
+use pahoehoe::client::{Client, ClientOp};
+use pahoehoe::cluster::{Cluster, ClusterConfig};
+use pahoehoe::fs::Fs;
+use pahoehoe::repair::RepairOptions;
+use pahoehoe::types::{Key, ObjectVersion};
+use simnet::{NodeId, RunOutcome, SimDuration};
+
+fn repair_cfg(puts: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.convergence.repair = Some(RepairOptions::paper_default());
+    cfg.racks_per_dc = Some(3);
+    cfg.workload_puts = puts;
+    cfg.workload_value_len = 8 * 1024;
+    cfg
+}
+
+/// Total live fragments for `ov` across every FS in the cluster.
+fn cluster_live(cluster: &Cluster, ov: ObjectVersion) -> usize {
+    let fss: Vec<NodeId> = cluster.topology().all_fss().collect();
+    fss.iter()
+        .map(|&fs| cluster.fs(fs).entry(ov).map_or(0, |e| e.fragments.len()))
+        .sum()
+}
+
+#[test]
+fn repair_engine_reprotects_after_losing_both_disks_of_a_server() {
+    let mut cluster = Cluster::build(repair_cfg(10), 7);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.outcome, RunOutcome::PredicateSatisfied);
+    assert_eq!(report.amr_versions, 10);
+    let ovs: Vec<ObjectVersion> = cluster
+        .client()
+        .success_versions()
+        .iter()
+        .copied()
+        .collect();
+    assert_eq!(ovs.len(), 10);
+    for &ov in &ovs {
+        assert_eq!(cluster_live(&cluster, ov), 12);
+    }
+
+    // Kill both disks of one DC-0 server: each object drops from 6 to 4
+    // live fragments in that DC, below the 80% repair threshold. No round
+    // wake is scheduled, so the repair engine is the only re-protection
+    // path.
+    let victim = cluster.layout().fs(0, 0);
+    let now = cluster.view().now();
+    let lost = {
+        let fs = cluster.actor_mut::<Fs>(victim);
+        fs.destroy_disk(0, now) + fs.destroy_disk(1, now)
+    };
+    assert_eq!(lost, 2 * 10, "two fragments per object on the victim");
+    for &ov in &ovs {
+        assert_eq!(cluster_live(&cluster, ov), 10);
+    }
+
+    cluster.run_until_time(now + SimDuration::from_secs(600));
+
+    let repair = cluster.repair_actor(0);
+    assert_eq!(repair.jobs_triggered(), 10, "every object dipped below");
+    assert_eq!(repair.jobs_completed(), 10);
+    assert_eq!(repair.jobs_abandoned(), 0);
+    assert_eq!(repair.backlog(), 0);
+    for &ov in &ovs {
+        assert_eq!(cluster_live(&cluster, ov), 12, "back at full redundancy");
+        assert_eq!(repair.live_fragments(ov), 6);
+    }
+    let m = cluster.view().metrics();
+    assert_eq!(m.event("repair_triggered"), 10);
+    assert_eq!(m.event("repair_completed"), 10);
+    assert!(m.event("repair_bytes") > 0);
+
+    // The archive still serves every value (workload keys are
+    // `Key::from_u64(i + 1)`).
+    let client_id = cluster.layout().client();
+    for i in 0..10u64 {
+        let done = cluster.view().actor::<Client>(client_id).gets_done().len();
+        cluster
+            .actor_mut::<Client>(client_id)
+            .enqueue(ClientOp::Get {
+                key: Key::from_u64(i + 1),
+            });
+        cluster.schedule_timer(client_id, SimDuration::ZERO, 1);
+        cluster.run_until_view(move |sim| sim.actor::<Client>(client_id).gets_done().len() > done);
+        let outcome = &cluster.view().actor::<Client>(client_id).gets_done()[done];
+        assert!(outcome.result.is_some(), "get after repair must succeed");
+    }
+}
+
+#[test]
+fn throttled_repair_stalls_but_still_reprotects() {
+    let mut cfg = repair_cfg(10);
+    // A budget well under one job's cost forces the drain loop to stall
+    // and accumulate tokens across ticks.
+    cfg.convergence.repair = Some(RepairOptions::throttled(4 * 1024));
+    let mut cluster = Cluster::build(cfg, 7);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.amr_versions, 10);
+    let ovs: Vec<ObjectVersion> = cluster
+        .client()
+        .success_versions()
+        .iter()
+        .copied()
+        .collect();
+
+    let victim = cluster.layout().fs(0, 0);
+    let now = cluster.view().now();
+    {
+        let fs = cluster.actor_mut::<Fs>(victim);
+        fs.destroy_disk(0, now);
+        fs.destroy_disk(1, now);
+    }
+    cluster.run_until_time(now + SimDuration::from_secs(1200));
+
+    let repair = cluster.repair_actor(0);
+    assert_eq!(repair.jobs_completed(), 10);
+    let m = cluster.view().metrics();
+    assert!(
+        m.event("repair_throttle_stalls") > 0,
+        "the token bucket must have gated admissions"
+    );
+    for &ov in &ovs {
+        assert_eq!(cluster_live(&cluster, ov), 12);
+    }
+}
+
+#[test]
+fn repair_is_not_triggered_above_threshold() {
+    let mut cluster = Cluster::build(repair_cfg(5), 11);
+    cluster.run_to_convergence();
+
+    // One disk = one fragment per object on the victim: 6 -> 5 live in
+    // the DC, which is still >= 80% of 6.
+    let victim = cluster.layout().fs(0, 1);
+    let now = cluster.view().now();
+    let lost = cluster.actor_mut::<Fs>(victim).destroy_disk(0, now);
+    assert_eq!(lost, 5);
+    cluster.run_until_time(now + SimDuration::from_secs(300));
+
+    let repair = cluster.repair_actor(0);
+    assert_eq!(repair.jobs_triggered(), 0);
+    assert_eq!(cluster.view().metrics().event("repair_triggered"), 0);
+}
+
+#[test]
+fn paced_scrub_detects_corruption_without_starving_the_protocol() {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.workload_puts = 10;
+    cfg.workload_value_len = 8 * 1024;
+    // 8 KiB values fragment to 2 KiB, so a 4 KiB budget re-hashes two
+    // fragments per tick and a full pass takes multiple ticks.
+    cfg.convergence.scrub_interval = Some(SimDuration::from_secs(5));
+    cfg.convergence.scrub_chunk_bytes = 4 * 1024;
+    let mut cluster = Cluster::build(cfg, 3);
+    let report = cluster.run_to_convergence();
+    assert_eq!(report.amr_versions, 10);
+
+    // Flip one stored fragment on a DC-1 server.
+    let victim = cluster.layout().fs(1, 2);
+    let (ov, idx) = {
+        let fs: &Fs = cluster.fs(victim);
+        let ov = fs.known_versions().next().expect("stores fragments");
+        let idx = *fs
+            .entry(ov)
+            .expect("entry exists")
+            .fragments
+            .keys()
+            .next()
+            .expect("holds a fragment");
+        (ov, idx)
+    };
+    assert!(cluster.actor_mut::<Fs>(victim).corrupt_fragment(ov, idx));
+
+    // While the cursor-paced scrub crawls the store, fresh protocol work
+    // must still make progress: a put issued mid-scrub completes and is
+    // readable.
+    let now = cluster.view().now();
+    cluster.run_until_time(now + SimDuration::from_secs(7));
+    cluster.put(b"mid-scrub", vec![0xAB; 4096]);
+    assert_eq!(cluster.get(b"mid-scrub"), Some(vec![0xAB; 4096]));
+
+    // And the scrubber finds the corruption within a few passes.
+    let now = cluster.view().now();
+    cluster.run_until_time(now + SimDuration::from_secs(120));
+    assert!(
+        cluster.fs(victim).corruption_detected() >= 1,
+        "paced scrub still re-hashes the whole store"
+    );
+}

@@ -20,7 +20,7 @@ cargo run -p check --bin lint
 echo "==> semantic analyzer (workspace must be clean)"
 cargo run -p check --release --bin analyze
 
-echo "==> mutation smoke (pinned 13 mutants, kill-rate gate >= 11/13)"
+echo "==> mutation smoke (pinned 14 mutants, kill-rate gate >= 12/14)"
 # Surviving mutants print their diff; the binary exits 1 below the gate.
 cargo run -p check --release --bin mutate -- --smoke --bench-out BENCH_analysis.json
 python3 -m json.tool BENCH_analysis.json > /dev/null
@@ -55,6 +55,16 @@ cargo run -p check --release --bin explore -- --smoke --delta --workers 2 --dige
 cmp target/digest-delta-seq.txt target/digest-delta-par.txt
 echo "    delta-mode parallel sweep digest is byte-identical to sequential"
 
+echo "==> invariant explorer (smoke sweep + repair scenario families, sequential vs parallel)"
+# Four churn families (node churn, rack outage, flash-crowd reads during
+# rebuild, throttled repair storm) on a repair-enabled rack-aware cluster,
+# checked by the redundancy-floor invariant; the digest lines fold the
+# EV_REPAIR_* counters.
+cargo run -p check --release --bin explore -- --smoke --repair --digest-out target/digest-repair-seq.txt
+cargo run -p check --release --bin explore -- --smoke --repair --workers 2 --digest-out target/digest-repair-par.txt
+cmp target/digest-repair-seq.txt target/digest-repair-par.txt
+echo "    repair-mode parallel sweep digest is byte-identical to sequential"
+
 echo "==> bench baseline (smoke)"
 cargo run -p bench --release --bin baseline -- --smoke
 python3 -m json.tool BENCH_codec.json > /dev/null
@@ -70,6 +80,12 @@ echo "==> bench delta (smoke, gates the >= 3x hot-pair payload reduction)"
 cargo run -p bench --release --bin delta -- --smoke
 python3 -m json.tool BENCH_delta.json > /dev/null
 grep -q '"schema_version": 1' BENCH_delta.json || { echo "    BENCH_delta.json schema drift"; exit 1; }
+
+echo "==> bench repair (smoke, gates re-protection in every cell)"
+cargo run -p bench --release --bin repair -- --smoke
+python3 -m json.tool BENCH_repair.json > /dev/null
+grep -q '"schema_version": 1' BENCH_repair.json || { echo "    BENCH_repair.json schema drift"; exit 1; }
+grep -q '"host"' BENCH_repair.json || { echo "    BENCH_repair.json missing host context"; exit 1; }
 
 echo "==> bench schema versions"
 for f in BENCH_*.json; do
